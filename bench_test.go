@@ -1,0 +1,239 @@
+package morc_test
+
+// One benchmark per table/figure of the paper's evaluation (run a scaled-
+// down budget so `go test -bench=.` completes in minutes; use
+// cmd/morcbench for full-budget reproductions), plus micro-benchmarks of
+// the compression codecs and the MORC cache operations.
+
+import (
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"morc/internal/cache"
+	"morc/internal/compress/cpack"
+	"morc/internal/compress/fpc"
+	"morc/internal/compress/huffman"
+	"morc/internal/compress/lbe"
+	"morc/internal/core"
+	"morc/internal/exp"
+	"morc/internal/rng"
+	"morc/internal/sim"
+)
+
+// benchBudget is the scaled-down experiment budget for testing.B runs.
+func benchBudget() exp.Budget {
+	return exp.Budget{
+		Warmup:      120_000,
+		Measure:     150_000,
+		SampleEvery: 50_000,
+		Workloads:   []string{"gcc", "bzip2", "mcf", "cactusADM", "h264ref", "soplex"},
+	}
+}
+
+// runExperiment executes a registered experiment b.N times, rendering to
+// io.Discard so table construction is included.
+func runExperiment(b *testing.B, id string) {
+	e, ok := exp.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	budget := benchBudget()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range e.Run(budget) {
+			t.Render(io.Discard)
+		}
+	}
+}
+
+// --- one bench per table / figure ---------------------------------------
+
+func BenchmarkFig2OracleLimits(b *testing.B)         { runExperiment(b, "fig2") }
+func BenchmarkFig6SingleProgram(b *testing.B)        { runExperiment(b, "fig6") }
+func BenchmarkFig7SymbolDistribution(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8MultiProgram(b *testing.B)         { runExperiment(b, "fig8") }
+func BenchmarkFig9Energy(b *testing.B)               { runExperiment(b, "fig9") }
+func BenchmarkFig10BandwidthSweep(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11CacheSizeSweep(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkFig12WritebackInvalid(b *testing.B)    { runExperiment(b, "fig12") }
+func BenchmarkFig13aLogSizeSweep(b *testing.B)       { runExperiment(b, "fig13a") }
+func BenchmarkFig13bActiveLogSweep(b *testing.B)     { runExperiment(b, "fig13b") }
+func BenchmarkFig14LatencyDistribution(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkFig15MergedTags(b *testing.B)          { runExperiment(b, "fig15") }
+func BenchmarkTab1Energies(b *testing.B)             { runExperiment(b, "tab1") }
+func BenchmarkTab4Overheads(b *testing.B)            { runExperiment(b, "tab4") }
+func BenchmarkTab5Config(b *testing.B)               { runExperiment(b, "tab5") }
+func BenchmarkTab7EnergyModel(b *testing.B)          { runExperiment(b, "tab7") }
+
+// --- codec micro-benchmarks ---------------------------------------------
+
+// benchLines builds n 64-byte lines of mixed compressibility.
+func benchLines(n int) [][]byte {
+	r := rng.New(7)
+	pool := make([]uint32, 8)
+	for i := range pool {
+		pool[i] = r.Uint32()
+	}
+	lines := make([][]byte, n)
+	for k := range lines {
+		l := make([]byte, 64)
+		for w := 0; w < 16; w++ {
+			switch {
+			case r.Bool(0.3):
+				// zero
+			case r.Bool(0.3):
+				binary.LittleEndian.PutUint32(l[w*4:], pool[r.Intn(8)])
+			case r.Bool(0.3):
+				binary.LittleEndian.PutUint32(l[w*4:], uint32(r.Intn(500)))
+			default:
+				binary.LittleEndian.PutUint32(l[w*4:], r.Uint32())
+			}
+		}
+		lines[k] = l
+	}
+	return lines
+}
+
+func BenchmarkLBECompress(b *testing.B) {
+	lines := benchLines(64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	var enc *lbe.Encoder
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			enc = lbe.NewEncoder(lbe.DefaultConfig())
+		}
+		enc.AppendCommit(lines[i%64])
+	}
+}
+
+func BenchmarkLBETrialAppend(b *testing.B) {
+	lines := benchLines(64)
+	enc := lbe.NewEncoder(lbe.DefaultConfig())
+	for i := 0; i < 16; i++ {
+		enc.AppendCommit(lines[i])
+	}
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enc.Append(lines[16+i%48]) // trial only, never committed
+	}
+}
+
+func BenchmarkLBEDecompress(b *testing.B) {
+	lines := benchLines(32)
+	enc := lbe.NewEncoder(lbe.DefaultConfig())
+	for _, l := range lines {
+		enc.AppendCommit(l)
+	}
+	data, bits := enc.Bytes(), enc.Bits()
+	b.SetBytes(32 * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := lbe.NewDecoder(lbe.DefaultConfig(), data, bits)
+		if _, err := dec.Next(32 * 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPackCompress(b *testing.B) {
+	lines := benchLines(64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpack.CompressedBits(lines[i%64])
+	}
+}
+
+func BenchmarkFPCCompress(b *testing.B) {
+	lines := benchLines(64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fpc.CompressedBits(lines[i%64])
+	}
+}
+
+func BenchmarkHuffmanCompress(b *testing.B) {
+	lines := benchLines(64)
+	s := huffman.NewSampler()
+	for _, l := range lines {
+		s.SampleLine(l)
+	}
+	code := huffman.Build(s, huffman.DefaultMaxValues)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code.CompressedBits(lines[i%64])
+	}
+}
+
+// --- cache-operation micro-benchmarks ------------------------------------
+
+func BenchmarkMORCFill(b *testing.B) {
+	c := core.New(core.DefaultConfig(128 * 1024))
+	lines := benchLines(256)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*cache.LineSize, lines[i%256])
+	}
+}
+
+func BenchmarkMORCReadHit(b *testing.B) {
+	c := core.New(core.DefaultConfig(128 * 1024))
+	lines := benchLines(256)
+	for i := 0; i < 1024; i++ {
+		c.Fill(uint64(i)*cache.LineSize, lines[i%256])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint64(i%1024) * cache.LineSize)
+	}
+}
+
+func BenchmarkSimulatorMORC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Scheme = sim.MORC
+		cfg.WarmupInstr = 50_000
+		cfg.MeasureInstr = 100_000
+		res := sim.RunSingle("gcc", cfg)
+		if res.CompletionCycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+func BenchmarkSimulatorUncompressed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Scheme = sim.Uncompressed
+		cfg.WarmupInstr = 50_000
+		cfg.MeasureInstr = 100_000
+		res := sim.RunSingle("gcc", cfg)
+		if res.CompletionCycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+// Example of scheme comparison at bench time, for quick what-ifs:
+//
+//	go test -bench BenchmarkSchemeRatio -benchtime 1x -v
+func BenchmarkSchemeRatio(b *testing.B) {
+	for _, sch := range sim.ComparedSchemes() {
+		b.Run(sch.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig()
+				cfg.Scheme = sch
+				cfg.WarmupInstr = 100_000
+				cfg.MeasureInstr = 100_000
+				res := sim.RunSingle("gcc", cfg)
+				b.ReportMetric(res.CompRatio, "ratio")
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Command morcsim runs a single simulation: one workload (or one Table 6
+// mix) against one LLC organization, printing the headline metrics.
+//
+// Usage:
+//
+//	morcsim -workload gcc -scheme MORC
+//	morcsim -mix M0 -scheme SC2 -bw 1600e6
+//	morcsim -workload astar -scheme MORC -logsize 1024 -activelogs 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"morc/internal/core"
+	"morc/internal/sim"
+	"morc/internal/trace"
+)
+
+func parseScheme(s string) (sim.Scheme, error) {
+	for _, sch := range []sim.Scheme{sim.Uncompressed, sim.Uncompressed8x,
+		sim.Adaptive, sim.Decoupled, sim.SC2, sim.MORC, sim.MORCMerged} {
+		if strings.EqualFold(sch.String(), s) {
+			return sch, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func main() {
+	var (
+		workload   = flag.String("workload", "gcc", "single-program workload name (see morctrace -list)")
+		mix        = flag.String("mix", "", "Table 6 mix name (M0-M3, S0-S7); overrides -workload")
+		scheme     = flag.String("scheme", "MORC", "Uncompressed|Uncompressed8x|Adaptive|Decoupled|SC2|MORC|MORCMerged")
+		bw         = flag.Float64("bw", 100e6, "off-chip bandwidth per core (bytes/sec)")
+		llcKB      = flag.Int("llc", 128, "LLC capacity per core (KB)")
+		warmup     = flag.Uint64("warmup", 1_500_000, "warmup instructions per core")
+		measure    = flag.Uint64("measure", 2_000_000, "measured instructions per core")
+		logSize    = flag.Int("logsize", 0, "MORC log size override (bytes)")
+		activeLogs = flag.Int("activelogs", 0, "MORC active log count override")
+		inclusive  = flag.Bool("inclusive", false, "insert fetched lines on store misses too")
+	)
+	flag.Parse()
+
+	sch, err := parseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morcsim:", err)
+		os.Exit(1)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sch
+	cfg.BWPerCore = *bw
+	cfg.LLCBytesPerCore = *llcKB << 10
+	cfg.WarmupInstr = *warmup
+	cfg.MeasureInstr = *measure
+	cfg.Inclusive = *inclusive
+	if *logSize > 0 || *activeLogs > 0 {
+		mc := core.DefaultConfig(cfg.LLCBytesPerCore)
+		if *logSize > 0 {
+			mc.LogBytes = *logSize
+		}
+		if *activeLogs > 0 {
+			mc.ActiveLogs = *activeLogs
+		}
+		cfg.MORCConfig = &mc
+	}
+
+	var res sim.Result
+	var label string
+	if *mix != "" {
+		label = "mix " + *mix
+		res = sim.RunMix(*mix, cfg)
+	} else {
+		if _, err := trace.Get(*workload); err != nil {
+			fmt.Fprintln(os.Stderr, "morcsim:", err)
+			os.Exit(1)
+		}
+		label = *workload
+		res = sim.RunSingle(*workload, cfg)
+	}
+
+	fmt.Printf("%s on %s (%dKB/core LLC, %.3g MB/s per core)\n",
+		label, sch, *llcKB, *bw/1e6)
+	fmt.Printf("  compression ratio      %.2fx\n", res.CompRatio)
+	fmt.Printf("  LLC hit rate           %.1f%%\n", 100*res.LLCStats.HitRate())
+	fmt.Printf("  off-chip traffic       %.3f GB per 1B instructions\n", res.GBPerBillionInstr)
+	fmt.Printf("  IPC (gmean)            %.4f\n", res.IPC)
+	fmt.Printf("  CGMT throughput        %.4f\n", res.Throughput)
+	fmt.Printf("  completion cycles      %d\n", res.CompletionCycles)
+	fmt.Printf("  memory-system energy   %.3f mJ\n", res.Energy.Total()*1e3)
+	fmt.Printf("    static %.3f / DRAM %.3f / SRAM %.3f / comp %.3f / decomp %.3f mJ\n",
+		(res.Energy.StaticJ+res.Energy.DRAMStaticJ)*1e3, res.Energy.DRAMJ*1e3,
+		res.Energy.SRAMJ*1e3, res.Energy.CompressJ*1e3, res.Energy.DecompressJ*1e3)
+}

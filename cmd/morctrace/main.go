@@ -1,0 +1,97 @@
+// Command morctrace inspects the synthetic workload generator: it lists
+// the available profiles, dumps access streams, and summarizes value
+// compressibility — handy when calibrating profiles against new data.
+//
+// Usage:
+//
+//	morctrace -list
+//	morctrace -workload gcc -n 20            # dump 20 accesses
+//	morctrace -workload gcc -summary         # stream + value statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"morc/internal/cache"
+	"morc/internal/compress/cpack"
+	"morc/internal/compress/lbe"
+	"morc/internal/trace"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list profiles and exit")
+		workload = flag.String("workload", "gcc", "workload name")
+		n        = flag.Int("n", 0, "dump the first n accesses")
+		summary  = flag.Bool("summary", false, "print stream and value statistics")
+		lines    = flag.Int("lines", 512, "lines to sample for value statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("base profiles:")
+		for _, name := range trace.Names() {
+			p := trace.MustGet(name)
+			fmt.Printf("  %-12s ws=%6dKB memref=%.2f stores=%.2f zeroline=%.2f\n",
+				name, p.WorkingSet>>10, p.MemRefFrac, p.StoreFrac, p.ZeroLineFrac)
+		}
+		fmt.Println("\nmulti-program mixes (Table 6):")
+		for _, m := range trace.MixNames() {
+			fmt.Printf("  %-3s %v\n", m, trace.MultiProgramMixes()[m])
+		}
+		return
+	}
+
+	p, err := trace.Get(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morctrace:", err)
+		os.Exit(1)
+	}
+
+	if *n > 0 {
+		g := trace.NewSynthGen(p)
+		for i := 0; i < *n; i++ {
+			a := g.Next()
+			kind := "LD"
+			if a.Kind == trace.Store {
+				kind = "ST"
+			}
+			fmt.Printf("%6d %s %#012x +%d\n", i, kind, a.Addr, a.NonMem)
+		}
+	}
+
+	if *summary || *n == 0 {
+		g := trace.NewSynthGen(p)
+		m := trace.NewMemory(p)
+		var instr, refs, stores uint64
+		seen := map[uint64]bool{}
+		for i := 0; i < 100000; i++ {
+			a := g.Next()
+			instr += a.Instructions()
+			refs++
+			if a.Kind == trace.Store {
+				stores++
+			}
+			seen[cache.LineAddr(a.Addr)] = true
+		}
+		fmt.Printf("%s: %d refs over %d instructions (%.2f refs/instr), %.1f%% stores, %d distinct lines touched\n",
+			p.Name, refs, instr, float64(refs)/float64(instr),
+			100*float64(stores)/float64(refs), len(seen))
+
+		enc := lbe.NewEncoder(lbe.DefaultConfig())
+		var cpackBits, rawBits int
+		for i := 0; i < *lines; i++ {
+			line := m.ReadLine(uint64(i) * cache.LineSize)
+			if enc.Bits() < 7*512 { // keep within one couple-of-logs window
+				enc.AppendCommit(line)
+			}
+			cpackBits += cpack.CompressedBits(line)
+			rawBits += cache.LineSize * 8
+		}
+		lbeRatio := float64(enc.InputBytes()*8) / float64(enc.Bits())
+		fmt.Printf("value model over %d lines: LBE (streamed) %.2fx, C-Pack (per line) %.2fx\n",
+			*lines, lbeRatio, float64(rawBits)/float64(cpackBits))
+	}
+}

@@ -1,0 +1,14 @@
+// Package morc is a from-scratch Go reproduction of "MORC: A
+// Manycore-Oriented Compressed Cache" (Nguyen & Wentzlaff, MICRO-48,
+// 2015): a log-based, inter-line compressed last-level cache for
+// bandwidth-starved manycore processors, together with the full
+// evaluation substrate — the LBE/C-Pack/FPC/SC2 compression codecs, the
+// Adaptive/Decoupled/SC2 baseline compressed caches, a trace-driven
+// manycore simulator with a bandwidth-limited memory system, an energy
+// model, and a synthetic SPEC CPU2006 workload generator.
+//
+// Start with README.md, the examples/ directory, and cmd/morcbench,
+// which regenerates every table and figure of the paper's evaluation.
+// DESIGN.md maps each experiment to the modules that implement it and
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package morc

@@ -1,0 +1,36 @@
+// bandwidth_wall sweeps per-core off-chip bandwidth and shows the
+// paper's central trade-off: MORC's long decompression latency hurts
+// when bandwidth is abundant, but as the bandwidth wall closes in
+// (Figure 10), its compression wins ever larger throughput gains.
+package main
+
+import (
+	"fmt"
+
+	"morc/internal/sim"
+)
+
+func main() {
+	const workload = "gcc"
+	bandwidths := []float64{1600e6, 400e6, 100e6, 25e6}
+
+	fmt.Printf("workload %s, 128KB LLC per core, 4-thread CGMT throughput model\n\n", workload)
+	fmt.Printf("%-10s %14s %14s %12s\n", "bandwidth", "Uncompressed", "MORC", "MORC gain")
+	for _, bw := range bandwidths {
+		cfg := sim.DefaultConfig()
+		cfg.BWPerCore = bw
+		cfg.WarmupInstr = 800_000
+		cfg.MeasureInstr = 800_000
+
+		cfg.Scheme = sim.Uncompressed
+		base := sim.RunSingle(workload, cfg)
+		cfg.Scheme = sim.MORC
+		morc := sim.RunSingle(workload, cfg)
+
+		fmt.Printf("%7.3gMB/s %14.4f %14.4f %+11.1f%%\n",
+			bw/1e6, base.Throughput, morc.Throughput,
+			100*(morc.Throughput/base.Throughput-1))
+	}
+	fmt.Println("\nThe crossover: compression only pays once off-chip bandwidth,")
+	fmt.Println("not latency, limits throughput — the manycore regime MORC targets.")
+}

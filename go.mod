@@ -1,0 +1,3 @@
+module morc
+
+go 1.22

@@ -1,0 +1,220 @@
+// Package cpack implements the C-Pack cache compression algorithm
+// (Chen, Yang, Dick, Shang, Lekatsas; IEEE TVLSI 2010), the payload codec
+// the MORC paper uses for the Adaptive and Decoupled baselines.
+//
+// C-Pack compresses a cache line independently: it scans 32-bit words,
+// matching them against a small dictionary built on the fly (16 entries of
+// 4 bytes = 64 bytes, matching the paper's Table 4 "Dict storage 128 Byte"
+// for a compressor+decompressor pair). Pattern codes:
+//
+//	zzzz (00)         zero word                        2 bits
+//	xxxx (01)         uncompressed word                2 + 32 bits
+//	mmmm (10)         full dictionary match            2 + 4 bits
+//	mmxx (1100)       match upper 2 bytes              4 + 4 + 16 bits
+//	zzzx (1101)       three zero bytes + literal byte  4 + 8 bits
+//	mmmx (1110)       match upper 3 bytes              4 + 4 + 8 bits
+//
+// Unmatched and partially matched words are pushed into the dictionary
+// until it is full (the dictionary then freezes). The decompressor
+// rebuilds the dictionary from the decoded stream, so the format is
+// self-contained per line.
+package cpack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"morc/internal/compress/bitstream"
+)
+
+// DictEntries is the number of 4-byte dictionary entries (64 bytes).
+const DictEntries = 16
+
+const ptrBits = 4 // log2(DictEntries)
+
+// CompressedBits returns the exact size in bits of line compressed with
+// C-Pack. It is the cheap path used by cache organizations that only need
+// the size.
+func CompressedBits(line []byte) int {
+	w := bitstream.NewWriter()
+	compressInto(w, line)
+	return w.Len()
+}
+
+// Compress returns the compressed bitstream and its length in bits.
+func Compress(line []byte) ([]byte, int) {
+	w := bitstream.NewWriter()
+	compressInto(w, line)
+	return w.Bytes(), w.Len()
+}
+
+func compressInto(w *bitstream.Writer, line []byte) {
+	if len(line)%4 != 0 {
+		panic(fmt.Sprintf("cpack: line length %d not a multiple of 4", len(line)))
+	}
+	var dict [][4]byte
+	for off := 0; off < len(line); off += 4 {
+		var word [4]byte
+		copy(word[:], line[off:off+4])
+		encodeWord(w, word, &dict)
+	}
+}
+
+func encodeWord(w *bitstream.Writer, word [4]byte, dict *[][4]byte) {
+	u := binary.BigEndian.Uint32(word[:])
+	if u == 0 {
+		w.WriteBits(0b00, 2) // zzzz
+		return
+	}
+	// zzzx: three high-order zero bytes, one literal low byte.
+	if word[0] == 0 && word[1] == 0 && word[2] == 0 {
+		w.WriteBits(0b1101, 4)
+		w.WriteBits(uint64(word[3]), 8)
+		return
+	}
+	// Dictionary scans prefer full matches, then 3-byte, then 2-byte.
+	full, m3, m2 := -1, -1, -1
+	for i, e := range *dict {
+		if e == word {
+			full = i
+			break
+		}
+		if m3 < 0 && e[0] == word[0] && e[1] == word[1] && e[2] == word[2] {
+			m3 = i
+		}
+		if m2 < 0 && e[0] == word[0] && e[1] == word[1] {
+			m2 = i
+		}
+	}
+	switch {
+	case full >= 0:
+		w.WriteBits(0b10, 2) // mmmm
+		w.WriteBits(uint64(full), ptrBits)
+		return
+	case m3 >= 0:
+		w.WriteBits(0b1110, 4) // mmmx
+		w.WriteBits(uint64(m3), ptrBits)
+		w.WriteBits(uint64(word[3]), 8)
+	case m2 >= 0:
+		w.WriteBits(0b1100, 4) // mmxx
+		w.WriteBits(uint64(m2), ptrBits)
+		w.WriteBits(uint64(binary.BigEndian.Uint16(word[2:])), 16)
+	default:
+		w.WriteBits(0b01, 2) // xxxx
+		w.WriteBits(uint64(u), 32)
+	}
+	// Unmatched and partially matched words enter the dictionary.
+	if len(*dict) < DictEntries {
+		*dict = append(*dict, word)
+	}
+}
+
+// Decompress decodes nWords 32-bit words from the first nbits of data.
+func Decompress(data []byte, nbits, nWords int) ([]byte, error) {
+	r := bitstream.NewReader(data, nbits)
+	out := make([]byte, 0, nWords*4)
+	var dict [][4]byte
+	for i := 0; i < nWords; i++ {
+		word, err := decodeWord(r, &dict)
+		if err != nil {
+			return nil, fmt.Errorf("cpack: word %d: %w", i, err)
+		}
+		out = append(out, word[:]...)
+	}
+	return out, nil
+}
+
+func decodeWord(r *bitstream.Reader, dict *[][4]byte) ([4]byte, error) {
+	var word [4]byte
+	b1, err := r.ReadBits(1)
+	if err != nil {
+		return word, err
+	}
+	if b1 == 0 {
+		b2, err := r.ReadBits(1)
+		if err != nil {
+			return word, err
+		}
+		if b2 == 0 {
+			return word, nil // zzzz
+		}
+		v, err := r.ReadBits(32) // xxxx
+		if err != nil {
+			return word, err
+		}
+		binary.BigEndian.PutUint32(word[:], uint32(v))
+		push(dict, word)
+		return word, nil
+	}
+	b2, err := r.ReadBits(1)
+	if err != nil {
+		return word, err
+	}
+	if b2 == 0 { // mmmm
+		idx, err := r.ReadBits(ptrBits)
+		if err != nil {
+			return word, err
+		}
+		if int(idx) >= len(*dict) {
+			return word, fmt.Errorf("dictionary pointer %d out of range %d", idx, len(*dict))
+		}
+		return (*dict)[idx], nil
+	}
+	b3, err := r.ReadBits(1)
+	if err != nil {
+		return word, err
+	}
+	b4, err := r.ReadBits(1)
+	if err != nil {
+		return word, err
+	}
+	switch {
+	case b3 == 0 && b4 == 0: // mmxx
+		idx, err := r.ReadBits(ptrBits)
+		if err != nil {
+			return word, err
+		}
+		if int(idx) >= len(*dict) {
+			return word, fmt.Errorf("dictionary pointer %d out of range %d", idx, len(*dict))
+		}
+		lo, err := r.ReadBits(16)
+		if err != nil {
+			return word, err
+		}
+		word = (*dict)[idx]
+		binary.BigEndian.PutUint16(word[2:], uint16(lo))
+		push(dict, word)
+		return word, nil
+	case b3 == 0 && b4 == 1: // zzzx
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return word, err
+		}
+		word[3] = byte(v)
+		return word, nil
+	case b3 == 1 && b4 == 0: // mmmx
+		idx, err := r.ReadBits(ptrBits)
+		if err != nil {
+			return word, err
+		}
+		if int(idx) >= len(*dict) {
+			return word, fmt.Errorf("dictionary pointer %d out of range %d", idx, len(*dict))
+		}
+		lo, err := r.ReadBits(8)
+		if err != nil {
+			return word, err
+		}
+		word = (*dict)[idx]
+		word[3] = byte(lo)
+		push(dict, word)
+		return word, nil
+	default:
+		return word, fmt.Errorf("invalid prefix 1111")
+	}
+}
+
+func push(dict *[][4]byte, word [4]byte) {
+	if len(*dict) < DictEntries {
+		*dict = append(*dict, word)
+	}
+}

@@ -1,0 +1,162 @@
+package cpack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"morc/internal/rng"
+)
+
+func roundTrip(t *testing.T, line []byte) {
+	t.Helper()
+	data, nbits := Compress(line)
+	got, err := Decompress(data, nbits, len(line)/4)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, line) {
+		t.Fatalf("round trip mismatch\n got %x\nwant %x", got, line)
+	}
+}
+
+func TestZeroLine(t *testing.T) {
+	line := make([]byte, 64)
+	if bits := CompressedBits(line); bits != 32 {
+		t.Fatalf("zero line = %d bits, want 32 (16 x zzzz)", bits)
+	}
+	roundTrip(t, line)
+}
+
+func TestIncompressibleLine(t *testing.T) {
+	r := rng.New(1)
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(r.Uint64()) | 1 // avoid zero bytes
+	}
+	bits := CompressedBits(line)
+	// Random data: mostly xxxx (34 bits/word); overhead < 544+slack.
+	if bits < 400 {
+		t.Fatalf("random line suspiciously small: %d bits", bits)
+	}
+	roundTrip(t, line)
+}
+
+func TestFullMatch(t *testing.T) {
+	line := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(line[i*4:], 0xCAFEBABE)
+	}
+	bits := CompressedBits(line)
+	// First word xxxx (34), remaining 15 mmmm (6 each) = 124.
+	if bits != 34+15*6 {
+		t.Fatalf("repeated word = %d bits, want %d", bits, 34+15*6)
+	}
+	roundTrip(t, line)
+}
+
+func TestZZZX(t *testing.T) {
+	line := make([]byte, 64)
+	line[3] = 0x42 // one low byte set -> zzzx
+	bits := CompressedBits(line)
+	if bits != 12+15*2 {
+		t.Fatalf("zzzx line = %d bits, want %d", bits, 12+15*2)
+	}
+	roundTrip(t, line)
+}
+
+func TestPartialMatches(t *testing.T) {
+	line := make([]byte, 64)
+	base := uint32(0x12345678)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(line[i*4:], base&0xFFFFFF00|uint32(i))
+	}
+	bits := CompressedBits(line)
+	// First word xxxx, rest mmmx (16 bits each).
+	want := 34 + 15*16
+	if bits != want {
+		t.Fatalf("mmmx line = %d bits, want %d", bits, want)
+	}
+	roundTrip(t, line)
+}
+
+func TestMMXX(t *testing.T) {
+	line := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(line[i*4:], 0xABCD0000|uint32(i*601+1)) // vary low halfword
+	}
+	roundTrip(t, line)
+	data, nbits := Compress(line)
+	got, err := Decompress(data, nbits, 16)
+	if err != nil || !bytes.Equal(got, line) {
+		t.Fatalf("mmxx round trip: %v", err)
+	}
+}
+
+func TestDictionaryFreeze(t *testing.T) {
+	// More than 16 distinct uncompressible words: dictionary freezes but
+	// stream must still round-trip.
+	line := make([]byte, 128)
+	r := rng.New(2)
+	for i := 0; i < 32; i++ {
+		binary.BigEndian.PutUint32(line[i*4:], r.Uint32()|0x01010101)
+	}
+	roundTrip(t, line)
+}
+
+func TestBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad length did not panic")
+		}
+	}()
+	CompressedBits(make([]byte, 5))
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	line := make([]byte, 64)
+	r := rng.New(3)
+	for i := range line {
+		line[i] = byte(r.Uint64())
+	}
+	data, nbits := Compress(line)
+	if _, err := Decompress(data, nbits/2, 16); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, sparsity uint8) bool {
+		r := rng.New(seed)
+		line := make([]byte, 64)
+		p := float64(sparsity%100) / 100
+		for i := range line {
+			if r.Bool(1 - p) {
+				line[i] = byte(r.Uint64())
+			}
+		}
+		data, nbits := Compress(line)
+		got, err := Decompress(data, nbits, 16)
+		return err == nil && bytes.Equal(got, line)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCompressionBound(t *testing.T) {
+	// C-Pack's best case for a 64B line is 16 x zzzz = 32 bits => 16x over
+	// the raw line, but the paper notes the per-word pointer/prefix
+	// overhead bounds realistic dictionary compression to 8x (m-words are
+	// 6 bits per 32-bit word).
+	line := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(line[i*4:], 0x77777777)
+	}
+	bits := CompressedBits(line)
+	ratio := 512.0 / float64(bits)
+	if ratio > 8.1 {
+		t.Fatalf("dictionary-match ratio %.2f exceeds C-Pack's 8x bound", ratio)
+	}
+}

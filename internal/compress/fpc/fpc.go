@@ -1,0 +1,171 @@
+// Package fpc implements Frequent Pattern Compression (Alameldeen & Wood,
+// UW-Madison TR-1500), the significance-based intra-line codec that the
+// original Adaptive compressed cache used. The MORC paper evaluates
+// Adaptive with C-Pack for fairness but notes (§6) that FPC performs
+// similarly; this package exists so that claim can be checked (see the
+// codec-comparison ablation in the benchmarks).
+//
+// Each 32-bit word is encoded with a 3-bit prefix:
+//
+//	000 zero-word run (3-bit run length, up to 8 words)
+//	001 4-bit sign-extended                          3 + 4
+//	010 8-bit sign-extended                          3 + 8
+//	011 16-bit sign-extended                         3 + 16
+//	100 16-bit padded with a zero halfword           3 + 16
+//	101 two halfwords, each an 8-bit sign-ext value  3 + 16
+//	110 word of four repeated bytes                  3 + 8
+//	111 uncompressed                                 3 + 32
+package fpc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"morc/internal/compress/bitstream"
+)
+
+// CompressedBits returns the exact compressed size of line in bits.
+func CompressedBits(line []byte) int {
+	w := bitstream.NewWriter()
+	compressInto(w, line)
+	return w.Len()
+}
+
+// Compress returns the compressed stream and its bit length.
+func Compress(line []byte) ([]byte, int) {
+	w := bitstream.NewWriter()
+	compressInto(w, line)
+	return w.Bytes(), w.Len()
+}
+
+func compressInto(w *bitstream.Writer, line []byte) {
+	if len(line)%4 != 0 {
+		panic(fmt.Sprintf("fpc: line length %d not a multiple of 4", len(line)))
+	}
+	nWords := len(line) / 4
+	for i := 0; i < nWords; {
+		u := binary.BigEndian.Uint32(line[i*4:])
+		if u == 0 {
+			run := 1
+			for i+run < nWords && run < 8 && binary.BigEndian.Uint32(line[(i+run)*4:]) == 0 {
+				run++
+			}
+			w.WriteBits(0b000, 3)
+			w.WriteBits(uint64(run-1), 3)
+			i += run
+			continue
+		}
+		encodeWord(w, u)
+		i++
+	}
+}
+
+// fitsSigned reports whether the signed 32-bit value v fits in n bits.
+func fitsSigned(v int32, n int) bool {
+	lo := int32(-1) << uint(n-1)
+	hi := -lo - 1
+	return v >= lo && v <= hi
+}
+
+func encodeWord(w *bitstream.Writer, u uint32) {
+	v := int32(u)
+	switch {
+	case fitsSigned(v, 4):
+		w.WriteBits(0b001, 3)
+		w.WriteBits(uint64(u&0xF), 4)
+	case fitsSigned(v, 8):
+		w.WriteBits(0b010, 3)
+		w.WriteBits(uint64(u&0xFF), 8)
+	case fitsSigned(v, 16):
+		w.WriteBits(0b011, 3)
+		w.WriteBits(uint64(u&0xFFFF), 16)
+	case u&0xFFFF == 0: // halfword padded with zeros
+		w.WriteBits(0b100, 3)
+		w.WriteBits(uint64(u>>16), 16)
+	case fitsSigned(int32(int16(u>>16)), 8) && fitsSigned(int32(int16(u&0xFFFF)), 8):
+		// two halfwords, each sign-extendable from 8 bits
+		w.WriteBits(0b101, 3)
+		w.WriteBits(uint64((u>>16)&0xFF), 8)
+		w.WriteBits(uint64(u&0xFF), 8)
+	case byte(u) == byte(u>>8) && byte(u) == byte(u>>16) && byte(u) == byte(u>>24):
+		w.WriteBits(0b110, 3)
+		w.WriteBits(uint64(u&0xFF), 8)
+	default:
+		w.WriteBits(0b111, 3)
+		w.WriteBits(uint64(u), 32)
+	}
+}
+
+func signExtend(v uint64, n int) uint32 {
+	shift := uint(32 - n)
+	return uint32(int32(uint32(v)<<shift) >> shift)
+}
+
+// Decompress decodes nWords 32-bit words from the first nbits of data.
+func Decompress(data []byte, nbits, nWords int) ([]byte, error) {
+	r := bitstream.NewReader(data, nbits)
+	out := make([]byte, 0, nWords*4)
+	for len(out) < nWords*4 {
+		prefix, err := r.ReadBits(3)
+		if err != nil {
+			return nil, fmt.Errorf("fpc: %w", err)
+		}
+		switch prefix {
+		case 0b000:
+			run, err := r.ReadBits(3)
+			if err != nil {
+				return nil, err
+			}
+			for j := uint64(0); j <= run; j++ {
+				out = append(out, 0, 0, 0, 0)
+			}
+		case 0b001, 0b010, 0b011:
+			n := []int{4, 8, 16}[prefix-1]
+			v, err := r.ReadBits(n)
+			if err != nil {
+				return nil, err
+			}
+			out = appendWord(out, signExtend(v, n))
+		case 0b100:
+			v, err := r.ReadBits(16)
+			if err != nil {
+				return nil, err
+			}
+			out = appendWord(out, uint32(v)<<16)
+		case 0b101:
+			hi, err := r.ReadBits(8)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := r.ReadBits(8)
+			if err != nil {
+				return nil, err
+			}
+			u := uint32(signExtend(hi, 8)&0xFFFF)<<16 | uint32(signExtend(lo, 8)&0xFFFF)
+			out = appendWord(out, u)
+		case 0b110:
+			b, err := r.ReadBits(8)
+			if err != nil {
+				return nil, err
+			}
+			u := uint32(b)
+			out = appendWord(out, u|u<<8|u<<16|u<<24)
+		default: // 0b111
+			v, err := r.ReadBits(32)
+			if err != nil {
+				return nil, err
+			}
+			out = appendWord(out, uint32(v))
+		}
+	}
+	if len(out) != nWords*4 {
+		return nil, fmt.Errorf("fpc: zero run overshot: %d bytes for %d words", len(out), nWords)
+	}
+	return out, nil
+}
+
+func appendWord(out []byte, u uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], u)
+	return append(out, b[:]...)
+}

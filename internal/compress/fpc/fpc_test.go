@@ -1,0 +1,131 @@
+package fpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"morc/internal/rng"
+)
+
+func roundTrip(t *testing.T, line []byte) {
+	t.Helper()
+	data, nbits := Compress(line)
+	got, err := Decompress(data, nbits, len(line)/4)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, line) {
+		t.Fatalf("round trip mismatch\n got %x\nwant %x", got, line)
+	}
+}
+
+func TestZeroRun(t *testing.T) {
+	line := make([]byte, 64)
+	// 16 zero words = two runs of 8 = 2 * 6 bits.
+	if bits := CompressedBits(line); bits != 12 {
+		t.Fatalf("zero line = %d bits, want 12", bits)
+	}
+	roundTrip(t, line)
+}
+
+func TestSmallValues(t *testing.T) {
+	line := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(line[i*4:], uint32(i-8)) // includes negatives
+	}
+	roundTrip(t, line)
+}
+
+func TestSignExtension(t *testing.T) {
+	for _, v := range []int32{-1, -8, 7, -128, 127, -32768, 32767} {
+		line := make([]byte, 4)
+		binary.BigEndian.PutUint32(line, uint32(v))
+		roundTrip(t, line)
+	}
+}
+
+func TestHalfwordPadded(t *testing.T) {
+	line := make([]byte, 4)
+	binary.BigEndian.PutUint32(line, 0xABCD0000)
+	if bits := CompressedBits(line); bits != 19 {
+		t.Fatalf("halfword-padded = %d bits, want 19", bits)
+	}
+	roundTrip(t, line)
+}
+
+func TestTwoHalfwords(t *testing.T) {
+	line := make([]byte, 4)
+	// 0x0012FF85: hi=0x0012 (fits s8? 0x12=18 yes), lo=0xFF85 (-123, fits s8)
+	binary.BigEndian.PutUint32(line, 0x0012FF85)
+	if bits := CompressedBits(line); bits != 19 {
+		t.Fatalf("two-halfword = %d bits, want 19", bits)
+	}
+	roundTrip(t, line)
+}
+
+func TestRepeatedBytes(t *testing.T) {
+	line := make([]byte, 4)
+	binary.BigEndian.PutUint32(line, 0x5A5A5A5A)
+	if bits := CompressedBits(line); bits != 11 {
+		t.Fatalf("repeated-bytes = %d bits, want 11", bits)
+	}
+	roundTrip(t, line)
+}
+
+func TestIncompressible(t *testing.T) {
+	line := make([]byte, 4)
+	binary.BigEndian.PutUint32(line, 0x89ABCDEF)
+	if bits := CompressedBits(line); bits != 35 {
+		t.Fatalf("uncompressed word = %d bits, want 35", bits)
+	}
+	roundTrip(t, line)
+}
+
+func TestLongZeroRunSplit(t *testing.T) {
+	line := make([]byte, 100) // 25 zero words: runs of 8,8,8,1
+	if bits := CompressedBits(line); bits != 4*6 {
+		t.Fatalf("25 zero words = %d bits, want 24", bits)
+	}
+	roundTrip(t, line)
+}
+
+func TestBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad length did not panic")
+		}
+	}()
+	CompressedBits(make([]byte, 6))
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, mode uint8) bool {
+		r := rng.New(seed)
+		line := make([]byte, 64)
+		for i := 0; i < 16; i++ {
+			var u uint32
+			switch mode % 5 {
+			case 0:
+				u = 0
+			case 1:
+				u = uint32(int32(r.Intn(256) - 128))
+			case 2:
+				u = r.Uint32() & 0xFFFF0000
+			case 3:
+				b := uint32(r.Intn(256))
+				u = b | b<<8 | b<<16 | b<<24
+			default:
+				u = r.Uint32()
+			}
+			binary.BigEndian.PutUint32(line[i*4:], u)
+		}
+		data, nbits := Compress(line)
+		got, err := Decompress(data, nbits, 16)
+		return err == nil && bytes.Equal(got, line)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

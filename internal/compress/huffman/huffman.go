@@ -1,0 +1,331 @@
+// Package huffman implements the value-frequency statistical compressor
+// used by the SC2 baseline (Arelakis & Stenström, ISCA 2014).
+//
+// SC2 maintains a system-wide dictionary of the most frequent 32-bit
+// values, Huffman-coded by sampled frequency; values outside the
+// dictionary are escaped and stored verbatim. The dictionary is built by
+// software from value samples and is periodically regenerated — this
+// package provides the Sampler (value statistics), Build (canonical
+// Huffman construction over the most frequent values plus an escape
+// symbol), and the per-line encode/decode paths.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"morc/internal/compress/bitstream"
+)
+
+// Sampler accumulates 32-bit value frequencies from observed cache lines.
+type Sampler struct {
+	freq map[uint32]uint64
+	n    uint64
+}
+
+// NewSampler returns an empty sampler.
+func NewSampler() *Sampler { return &Sampler{freq: make(map[uint32]uint64)} }
+
+// SampleLine records every 32-bit word of line (big-endian split; the
+// codec only needs self-consistency).
+func (s *Sampler) SampleLine(line []byte) {
+	for off := 0; off+4 <= len(line); off += 4 {
+		s.freq[binary.BigEndian.Uint32(line[off:])]++
+		s.n++
+	}
+}
+
+// Samples returns the number of words sampled.
+func (s *Sampler) Samples() uint64 { return s.n }
+
+// Reset clears accumulated statistics.
+func (s *Sampler) Reset() {
+	s.freq = make(map[uint32]uint64)
+	s.n = 0
+}
+
+// Code is a canonical Huffman code over the top-K sampled values plus an
+// escape symbol (escape prefix followed by a 32-bit literal).
+type Code struct {
+	codeOf    map[uint32]codeword
+	escape    codeword
+	maxLen    int
+	decodeMap map[uint64]decoded // (len<<32|code) -> value
+	symbols   int
+}
+
+type codeword struct {
+	bits uint64
+	n    int
+}
+
+type decoded struct {
+	value  uint32
+	escape bool
+}
+
+type hnode struct {
+	freq   uint64
+	sym    int // index into syms; -1 for internal
+	l, r   *hnode
+	serial int // tie-break for determinism
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].serial < h[j].serial
+}
+func (h hheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x interface{}) { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a code from the sampler's statistics using at most
+// maxValues dictionary entries (the paper models SC2's 18KB dictionary;
+// see DefaultMaxValues). A nil or empty sampler produces an escape-only
+// code (every word costs 1+32 bits).
+func Build(s *Sampler, maxValues int) *Code {
+	if maxValues < 1 {
+		maxValues = 1
+	}
+	type vf struct {
+		v uint32
+		f uint64
+	}
+	var vals []vf
+	var total uint64
+	if s != nil {
+		for v, f := range s.freq {
+			vals = append(vals, vf{v, f})
+			total += f
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		if vals[i].f != vals[j].f {
+			return vals[i].f > vals[j].f
+		}
+		return vals[i].v < vals[j].v
+	})
+	if len(vals) > maxValues {
+		vals = vals[:maxValues]
+	}
+	var inDict uint64
+	for _, v := range vals {
+		inDict += v.f
+	}
+	escFreq := total - inDict
+	if escFreq == 0 {
+		escFreq = 1 // escape must stay encodable
+	}
+
+	// Build Huffman tree over dictionary values + escape (symbol index
+	// len(vals) is escape).
+	syms := make([]uint64, len(vals)+1)
+	for i, v := range vals {
+		syms[i] = v.f
+	}
+	syms[len(vals)] = escFreq
+
+	lengths := codeLengths(syms)
+	// Length-limit to 32 bits so canonical codes pack into the decode key
+	// (and to stay hardware-plausible): flatten frequencies until the
+	// deepest code fits. Converges because all-equal frequencies give a
+	// balanced tree of depth ~log2(symbols).
+	for maxOf(lengths) > 32 {
+		for i := range syms {
+			syms[i] = syms[i]/2 + 1
+		}
+		lengths = codeLengths(syms)
+	}
+
+	// Canonical code assignment: sort by (length, symbol index).
+	type symLen struct{ sym, n int }
+	order := make([]symLen, len(lengths))
+	for i, n := range lengths {
+		order[i] = symLen{i, n}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].n != order[j].n {
+			return order[i].n < order[j].n
+		}
+		return order[i].sym < order[j].sym
+	})
+	c := &Code{
+		codeOf:    make(map[uint32]codeword, len(vals)),
+		decodeMap: make(map[uint64]decoded, len(lengths)),
+		symbols:   len(vals),
+	}
+	var code uint64
+	prevLen := 0
+	for _, sl := range order {
+		if sl.n > prevLen {
+			code <<= uint(sl.n - prevLen)
+			prevLen = sl.n
+		}
+		cw := codeword{bits: code, n: sl.n}
+		if sl.sym == len(vals) {
+			c.escape = cw
+		} else {
+			c.codeOf[vals[sl.sym].v] = cw
+		}
+		key := uint64(sl.n)<<32 | code
+		if sl.sym == len(vals) {
+			c.decodeMap[key] = decoded{escape: true}
+		} else {
+			c.decodeMap[key] = decoded{value: vals[sl.sym].v}
+		}
+		if sl.n > c.maxLen {
+			c.maxLen = sl.n
+		}
+		code++
+	}
+	return c
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// codeLengths returns Huffman code lengths for the given symbol
+// frequencies (zero frequencies are bumped to 1 to keep all symbols
+// encodable). A single symbol gets length 1.
+func codeLengths(freqs []uint64) []int {
+	n := len(freqs)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{1}
+	}
+	h := make(hheap, 0, n)
+	serial := 0
+	for i, f := range freqs {
+		if f == 0 {
+			f = 1
+		}
+		h = append(h, &hnode{freq: f, sym: i, serial: serial})
+		serial++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hnode)
+		b := heap.Pop(&h).(*hnode)
+		heap.Push(&h, &hnode{freq: a.freq + b.freq, sym: -1, l: a, r: b, serial: serial})
+		serial++
+	}
+	root := h[0]
+	lengths := make([]int, n)
+	var walk func(nd *hnode, depth int)
+	walk = func(nd *hnode, depth int) {
+		if nd.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[nd.sym] = depth
+			return
+		}
+		walk(nd.l, depth+1)
+		walk(nd.r, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// DictionaryValues returns how many values the code covers (excluding the
+// escape symbol).
+func (c *Code) DictionaryValues() int { return c.symbols }
+
+// WordBits returns the encoded size of one 32-bit word.
+func (c *Code) WordBits(v uint32) int {
+	if cw, ok := c.codeOf[v]; ok {
+		return cw.n
+	}
+	return c.escape.n + 32
+}
+
+// CompressedBits returns the exact compressed size of line in bits.
+func (c *Code) CompressedBits(line []byte) int {
+	bits := 0
+	for off := 0; off+4 <= len(line); off += 4 {
+		bits += c.WordBits(binary.BigEndian.Uint32(line[off:]))
+	}
+	return bits
+}
+
+// Compress encodes line and returns the stream and its bit length.
+func (c *Code) Compress(line []byte) ([]byte, int) {
+	if len(line)%4 != 0 {
+		panic(fmt.Sprintf("huffman: line length %d not a multiple of 4", len(line)))
+	}
+	w := bitstream.NewWriter()
+	for off := 0; off < len(line); off += 4 {
+		v := binary.BigEndian.Uint32(line[off:])
+		if cw, ok := c.codeOf[v]; ok {
+			w.WriteBits(cw.bits, cw.n)
+		} else {
+			w.WriteBits(c.escape.bits, c.escape.n)
+			w.WriteBits(uint64(v), 32)
+		}
+	}
+	return w.Bytes(), w.Len()
+}
+
+// Decompress decodes nWords words from the first nbits of data.
+func (c *Code) Decompress(data []byte, nbits, nWords int) ([]byte, error) {
+	r := bitstream.NewReader(data, nbits)
+	out := make([]byte, 0, nWords*4)
+	for i := 0; i < nWords; i++ {
+		var code uint64
+		n := 0
+		for {
+			b, err := r.ReadBits(1)
+			if err != nil {
+				return nil, fmt.Errorf("huffman: word %d: %w", i, err)
+			}
+			code = code<<1 | b
+			n++
+			if n > c.maxLen {
+				return nil, fmt.Errorf("huffman: word %d: no code of length <= %d", i, c.maxLen)
+			}
+			if d, ok := c.decodeMap[uint64(n)<<32|code]; ok {
+				var v uint32
+				if d.escape {
+					raw, err := r.ReadBits(32)
+					if err != nil {
+						return nil, err
+					}
+					v = uint32(raw)
+				} else {
+					v = d.value
+				}
+				var b4 [4]byte
+				binary.BigEndian.PutUint32(b4[:], v)
+				out = append(out, b4[:]...)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// DefaultMaxValues models SC2's 18KB dictionary: each entry holds a
+// 32-bit value plus code metadata (~9 bytes), giving roughly 2048 values.
+const DefaultMaxValues = 2048

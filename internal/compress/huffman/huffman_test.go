@@ -1,0 +1,200 @@
+package huffman
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"morc/internal/rng"
+)
+
+func makeLine(words []uint32) []byte {
+	b := make([]byte, len(words)*4)
+	for i, w := range words {
+		binary.BigEndian.PutUint32(b[i*4:], w)
+	}
+	return b
+}
+
+func TestEscapeOnlyCode(t *testing.T) {
+	c := Build(nil, 16)
+	line := makeLine([]uint32{1, 2, 3, 4})
+	data, nbits := c.Compress(line)
+	// Escape-only: 1 escape bit + 32 literal bits per word.
+	if nbits != 4*33 {
+		t.Fatalf("escape-only size = %d bits, want 132", nbits)
+	}
+	got, err := c.Decompress(data, nbits, 4)
+	if err != nil || !bytes.Equal(got, line) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestFrequentValuesGetShortCodes(t *testing.T) {
+	s := NewSampler()
+	// 0 dominates, then 1, then rare values.
+	for i := 0; i < 1000; i++ {
+		s.SampleLine(makeLine([]uint32{0}))
+	}
+	for i := 0; i < 100; i++ {
+		s.SampleLine(makeLine([]uint32{1}))
+	}
+	for i := 0; i < 10; i++ {
+		s.SampleLine(makeLine([]uint32{uint32(i + 100)}))
+	}
+	c := Build(s, 64)
+	if c.WordBits(0) > c.WordBits(1) {
+		t.Fatalf("most frequent value has longer code: %d vs %d", c.WordBits(0), c.WordBits(1))
+	}
+	if c.WordBits(0) >= c.WordBits(0xDEADBEEF) {
+		t.Fatal("dictionary value not shorter than escape")
+	}
+}
+
+func TestDictionaryCapRespected(t *testing.T) {
+	s := NewSampler()
+	for i := 0; i < 100; i++ {
+		s.SampleLine(makeLine([]uint32{uint32(i)}))
+	}
+	c := Build(s, 10)
+	if c.DictionaryValues() > 10 {
+		t.Fatalf("dictionary has %d values, cap 10", c.DictionaryValues())
+	}
+}
+
+func TestRoundTripMixed(t *testing.T) {
+	s := NewSampler()
+	r := rng.New(1)
+	var lines [][]byte
+	pool := []uint32{0, 0xFFFFFFFF, 42, 7, 0x80000000}
+	for n := 0; n < 50; n++ {
+		words := make([]uint32, 16)
+		for i := range words {
+			if r.Bool(0.7) {
+				words[i] = pool[r.Intn(len(pool))]
+			} else {
+				words[i] = r.Uint32()
+			}
+		}
+		l := makeLine(words)
+		lines = append(lines, l)
+		s.SampleLine(l)
+	}
+	c := Build(s, 256)
+	for i, l := range lines {
+		data, nbits := c.Compress(l)
+		got, err := c.Decompress(data, nbits, 16)
+		if err != nil || !bytes.Equal(got, l) {
+			t.Fatalf("line %d: round trip failed: %v", i, err)
+		}
+	}
+}
+
+func TestCompressedBitsMatchesCompress(t *testing.T) {
+	s := NewSampler()
+	r := rng.New(2)
+	for n := 0; n < 20; n++ {
+		words := make([]uint32, 16)
+		for i := range words {
+			words[i] = uint32(r.Intn(8))
+		}
+		s.SampleLine(makeLine(words))
+	}
+	c := Build(s, 16)
+	words := make([]uint32, 16)
+	for i := range words {
+		words[i] = uint32(r.Intn(16))
+	}
+	line := makeLine(words)
+	_, nbits := c.Compress(line)
+	if est := c.CompressedBits(line); est != nbits {
+		t.Fatalf("CompressedBits %d != actual %d", est, nbits)
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	// Code must be prefix-free: sum of 2^-len over all codewords <= 1.
+	s := NewSampler()
+	r := rng.New(3)
+	for n := 0; n < 500; n++ {
+		s.SampleLine(makeLine([]uint32{uint32(r.Geometric(0.1))}))
+	}
+	c := Build(s, 64)
+	sum := 0.0
+	for _, cw := range c.codeOf {
+		sum += 1.0 / float64(uint64(1)<<uint(cw.n))
+	}
+	sum += 1.0 / float64(uint64(1)<<uint(c.escape.n))
+	if sum > 1.0000001 {
+		t.Fatalf("Kraft sum = %g > 1 (not prefix-free)", sum)
+	}
+}
+
+func TestSamplerReset(t *testing.T) {
+	s := NewSampler()
+	s.SampleLine(makeLine([]uint32{1, 2}))
+	if s.Samples() != 2 {
+		t.Fatalf("samples = %d", s.Samples())
+	}
+	s.Reset()
+	if s.Samples() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	c := Build(nil, 4)
+	line := makeLine([]uint32{0xAABBCCDD, 0x11223344})
+	data, nbits := c.Compress(line)
+	if _, err := c.Decompress(data, nbits-10, 2); err == nil {
+		t.Fatal("truncated stream decoded")
+	}
+}
+
+func TestBadLineLengthPanics(t *testing.T) {
+	c := Build(nil, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd length did not panic")
+		}
+	}()
+	c.Compress(make([]byte, 7))
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, dictBias uint8) bool {
+		r := rng.New(seed)
+		s := NewSampler()
+		pool := make([]uint32, 8)
+		for i := range pool {
+			pool[i] = r.Uint32()
+		}
+		var lines [][]byte
+		for n := 0; n < 10; n++ {
+			words := make([]uint32, 16)
+			for i := range words {
+				if r.Bool(float64(dictBias%100) / 100) {
+					words[i] = pool[r.Intn(8)]
+				} else {
+					words[i] = r.Uint32()
+				}
+			}
+			l := makeLine(words)
+			lines = append(lines, l)
+			s.SampleLine(l)
+		}
+		c := Build(s, 16)
+		for _, l := range lines {
+			data, nbits := c.Compress(l)
+			got, err := c.Decompress(data, nbits, 16)
+			if err != nil || !bytes.Equal(got, l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

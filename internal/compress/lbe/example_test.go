@@ -1,0 +1,54 @@
+package lbe_test
+
+import (
+	"fmt"
+
+	"morc/internal/compress/lbe"
+)
+
+// Example shows the streaming inter-line flow: identical lines cost
+// almost nothing once the dictionaries have seen them.
+func Example() {
+	enc := lbe.NewEncoder(lbe.DefaultConfig())
+
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(i * 7)
+	}
+
+	first := enc.AppendCommit(line)
+	second := enc.AppendCommit(line)
+	fmt.Printf("first copy: %d bits, second copy: %d bits\n", first, second)
+
+	dec := lbe.NewDecoder(lbe.DefaultConfig(), enc.Bytes(), enc.Bits())
+	out, _ := dec.Next(64)
+	fmt.Println("round trip ok:", string(out[:0]) == "" && out[63] == line[63])
+	// Output:
+	// first copy: 544 bits, second copy: 18 bits
+	// round trip ok: true
+}
+
+// Example_trial shows the trial/commit protocol MORC's multi-log
+// insertion uses: size several logs without mutating any, then commit
+// the winner.
+func Example_trial() {
+	logA := lbe.NewEncoder(lbe.DefaultConfig())
+	logB := lbe.NewEncoder(lbe.DefaultConfig())
+
+	// Warm log A with a line so it knows the content.
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(i)
+	}
+	logA.AppendCommit(line)
+
+	pa := logA.Append(line) // trial on both
+	pb := logB.Append(line)
+	fmt.Printf("log A would grow %d bits, log B %d bits\n", pa.Bits(), pb.Bits())
+
+	logA.Commit(pa) // only the winner commits; pb is simply dropped
+	fmt.Println("committed to A")
+	// Output:
+	// log A would grow 18 bits, log B 544 bits
+	// committed to A
+}

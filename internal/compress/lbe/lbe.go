@@ -1,0 +1,495 @@
+// Package lbe implements Large-Block Encoding, the MORC paper's data
+// compression algorithm (§3.2.5, Table 3).
+//
+// LBE is a streaming, dictionary-based codec that reads input in 256-bit
+// (32-byte) chunks and dynamically chooses the match granularity: 32, 64,
+// 128 or 256 bits. Each granularity has its own logical dictionary; only
+// the 32-bit dictionary holds data, with larger entries acting as binary
+// trees of pointers into it (a hardware detail — this software model
+// stores the bytes directly, which produces the identical bitstream).
+//
+// Symbol prefixes (Table 3 of the paper):
+//
+//	u32  00      + 32b literal      m64   1100  + ptr
+//	m32  01      + ptr              z64   1101
+//	u16  100     + 16b literal      m128  11100 + ptr
+//	z32  1010                       z128  11101
+//	u8   1011    + 8b literal       m256  11110 + ptr
+//	                                z256  11111
+//
+// Literals (u8/u16/u32) create a new 32-bit dictionary entry. After each
+// 256-bit chunk, dictionary entries are allocated for every 64/128/256-bit
+// sub-chunk that failed to compress as a single symbol, provided every
+// constituent 32-bit word is representable (zero or present in the 32-bit
+// dictionary) and the granularity's dictionary is not yet full.
+// Dictionaries freeze when full, exactly like C-Pack's.
+//
+// The Encoder supports trial appends: MORC compresses an inserted line
+// into all active logs but commits only the winner (§3.2.3), so Append
+// returns a pending state that the caller either commits or discards.
+package lbe
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"morc/internal/compress/bitstream"
+)
+
+// Symbol identifies an LBE encoding symbol, for the Figure 7 usage study.
+type Symbol int
+
+// Symbol values in Table 3 order.
+const (
+	SymU8 Symbol = iota
+	SymU16
+	SymU32
+	SymM32
+	SymZ32
+	SymM64
+	SymZ64
+	SymM128
+	SymZ128
+	SymM256
+	SymZ256
+	numSymbols
+)
+
+// String returns the paper's name for the symbol.
+func (s Symbol) String() string {
+	switch s {
+	case SymU8:
+		return "u8"
+	case SymU16:
+		return "u16"
+	case SymU32:
+		return "u32"
+	case SymM32:
+		return "m32"
+	case SymZ32:
+		return "z32"
+	case SymM64:
+		return "m64"
+	case SymZ64:
+		return "z64"
+	case SymM128:
+		return "m128"
+	case SymZ128:
+		return "z128"
+	case SymM256:
+		return "m256"
+	case SymZ256:
+		return "z256"
+	}
+	return fmt.Sprintf("Symbol(%d)", int(s))
+}
+
+// DataBytes returns how many bytes of output the symbol represents.
+func (s Symbol) DataBytes() int {
+	switch s {
+	case SymU8, SymU16, SymU32, SymM32, SymZ32:
+		return 4
+	case SymM64, SymZ64:
+		return 8
+	case SymM128, SymZ128:
+		return 16
+	case SymM256, SymZ256:
+		return 32
+	}
+	return 0
+}
+
+// IsZero reports whether the symbol encodes an all-zero block.
+func (s Symbol) IsZero() bool {
+	switch s {
+	case SymZ32, SymZ64, SymZ128, SymZ256:
+		return true
+	}
+	return false
+}
+
+// SymbolStats counts symbol usage, indexed by Symbol.
+type SymbolStats [numSymbols]uint64
+
+// Add accumulates other into s.
+func (s *SymbolStats) Add(other SymbolStats) {
+	for i := range s {
+		s[i] += other[i]
+	}
+}
+
+// Config sets the per-granularity dictionary entry counts. The paper sizes
+// the LBE dictionary at 512 bytes of leaf (32-bit) storage.
+type Config struct {
+	Dict32  int // 32-bit entries (hold data)
+	Dict64  int // 64-bit tree entries
+	Dict128 int
+	Dict256 int
+}
+
+// DefaultConfig is the configuration evaluated in the paper: a 512-byte
+// 32-bit dictionary (128 entries) with tree dictionaries scaled so that
+// every granularity can cover the same span.
+func DefaultConfig() Config {
+	return Config{Dict32: 128, Dict64: 64, Dict128: 32, Dict256: 16}
+}
+
+func (c Config) validate() error {
+	if c.Dict32 < 1 || c.Dict64 < 1 || c.Dict128 < 1 || c.Dict256 < 1 {
+		return fmt.Errorf("lbe: all dictionary sizes must be >= 1: %+v", c)
+	}
+	return nil
+}
+
+// ptrBits returns the pointer width for a dictionary with n entries.
+func ptrBits(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// dict is one granularity's dictionary: insertion-ordered entries with a
+// content index. Entries never change once inserted (append-only, frozen
+// when full), matching the stream-preservation requirement of §2.2.
+type dict struct {
+	gran    int // bytes per entry: 4, 8, 16, 32
+	cap     int
+	entries []string
+	index   map[string]int
+}
+
+func newDict(gran, capacity int) *dict {
+	return &dict{gran: gran, cap: capacity, index: make(map[string]int, capacity)}
+}
+
+func (d *dict) lookup(b []byte) (int, bool) {
+	i, ok := d.index[string(b)]
+	return i, ok
+}
+
+func (d *dict) full() bool { return len(d.entries) >= d.cap }
+
+// add inserts b if there is room and it is not already present.
+func (d *dict) add(b []byte) {
+	if d.full() {
+		return
+	}
+	s := string(b)
+	if _, ok := d.index[s]; ok {
+		return
+	}
+	d.index[s] = len(d.entries)
+	d.entries = append(d.entries, s)
+}
+
+func (d *dict) clone() *dict {
+	nd := &dict{gran: d.gran, cap: d.cap, entries: append([]string(nil), d.entries...),
+		index: make(map[string]int, len(d.index))}
+	for k, v := range d.index {
+		nd.index[k] = v
+	}
+	return nd
+}
+
+// Encoder compresses a stream of 32-byte-multiple blocks, maintaining
+// dictionary state across appends (one Encoder per MORC log).
+type Encoder struct {
+	cfg    Config
+	w      *bitstream.Writer
+	dicts  [4]*dict // index by granularity level: 0=32b word .. 3=256b
+	stats  SymbolStats
+	inLen  int // uncompressed bytes appended
+	frozen bool
+}
+
+const (
+	lvl32 = iota
+	lvl64
+	lvl128
+	lvl256
+)
+
+func granBytes(lvl int) int { return 4 << uint(lvl) }
+
+// NewEncoder returns an empty encoder with the given configuration.
+func NewEncoder(cfg Config) *Encoder {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	e := &Encoder{cfg: cfg, w: bitstream.NewWriter()}
+	e.dicts[lvl32] = newDict(4, cfg.Dict32)
+	e.dicts[lvl64] = newDict(8, cfg.Dict64)
+	e.dicts[lvl128] = newDict(16, cfg.Dict128)
+	e.dicts[lvl256] = newDict(32, cfg.Dict256)
+	return e
+}
+
+// Clone returns a deep copy, used by multi-log trial compression when the
+// caller needs full what-if isolation.
+func (e *Encoder) Clone() *Encoder {
+	ne := &Encoder{cfg: e.cfg, w: e.w.Clone(), stats: e.stats, inLen: e.inLen}
+	for i, d := range e.dicts {
+		ne.dicts[i] = d.clone()
+	}
+	return ne
+}
+
+// Bits returns the compressed stream length in bits.
+func (e *Encoder) Bits() int { return e.w.Len() }
+
+// Bytes returns the compressed stream (padded to a byte boundary).
+func (e *Encoder) Bytes() []byte { return e.w.Bytes() }
+
+// InputBytes returns the total uncompressed bytes appended so far.
+func (e *Encoder) InputBytes() int { return e.inLen }
+
+// Stats returns a copy of the symbol usage counters.
+func (e *Encoder) Stats() SymbolStats { return e.stats }
+
+// Pending captures the result of a trial append: the bits the block would
+// occupy and the dictionary mutations it would make. Commit applies it.
+type Pending struct {
+	enc      *Encoder
+	startBit int
+	bits     []pendBit
+	adds     [4][]string // new dictionary entries per level, in order
+	stats    SymbolStats
+	inLen    int
+	applied  bool
+}
+
+type pendBit struct {
+	v uint64
+	n int
+}
+
+// Bits returns the number of compressed bits this append would add.
+func (p *Pending) Bits() int {
+	total := 0
+	for _, b := range p.bits {
+		total += b.n
+	}
+	return total
+}
+
+type pendState struct {
+	p *Pending
+	// overlay lookup for entries added during this append
+	addIdx [4]map[string]int
+}
+
+func (ps *pendState) lookup(lvl int, b []byte) (int, bool) {
+	if i, ok := ps.p.enc.dicts[lvl].lookup(b); ok {
+		return i, true
+	}
+	if i, ok := ps.addIdx[lvl][string(b)]; ok {
+		return i, true
+	}
+	return 0, false
+}
+
+func (ps *pendState) full(lvl int) bool {
+	d := ps.p.enc.dicts[lvl]
+	return len(d.entries)+len(ps.p.adds[lvl]) >= d.cap
+}
+
+func (ps *pendState) add(lvl int, b []byte) {
+	if ps.full(lvl) {
+		return
+	}
+	if _, ok := ps.lookup(lvl, b); ok {
+		return
+	}
+	d := ps.p.enc.dicts[lvl]
+	idx := len(d.entries) + len(ps.p.adds[lvl])
+	ps.p.adds[lvl] = append(ps.p.adds[lvl], string(b))
+	ps.addIdx[lvl][string(b)] = idx
+}
+
+func (ps *pendState) emit(v uint64, n int) {
+	ps.p.bits = append(ps.p.bits, pendBit{v, n})
+}
+
+// Append trial-compresses block (length must be a positive multiple of 32)
+// against the encoder's current state, returning a Pending that the caller
+// commits with Commit or simply drops. The encoder state is unmodified
+// until Commit.
+func (e *Encoder) Append(block []byte) *Pending {
+	if len(block) == 0 || len(block)%32 != 0 {
+		panic(fmt.Sprintf("lbe: Append block of %d bytes (need positive multiple of 32)", len(block)))
+	}
+	p := &Pending{enc: e, startBit: e.w.Len(), inLen: len(block)}
+	ps := &pendState{p: p}
+	for i := range ps.addIdx {
+		ps.addIdx[i] = make(map[string]int)
+	}
+	for off := 0; off < len(block); off += 32 {
+		e.encodeChunk(ps, block[off:off+32])
+	}
+	return p
+}
+
+// Commit applies a pending append produced by this encoder. A Pending may
+// be committed at most once, and only if the encoder has not advanced
+// since the Append call.
+func (e *Encoder) Commit(p *Pending) {
+	if p.enc != e {
+		panic("lbe: Commit of pending from another encoder")
+	}
+	if p.applied {
+		panic("lbe: double Commit")
+	}
+	if p.startBit != e.w.Len() {
+		panic("lbe: encoder advanced since Append; pending is stale")
+	}
+	for _, b := range p.bits {
+		e.w.WriteBits(b.v, b.n)
+	}
+	for lvl, adds := range p.adds {
+		for _, s := range adds {
+			e.dicts[lvl].add([]byte(s))
+		}
+	}
+	e.stats.Add(p.stats)
+	e.inLen += p.inLen
+	p.applied = true
+}
+
+// AppendCommit is the one-shot form used when no trial is needed.
+func (e *Encoder) AppendCommit(block []byte) int {
+	p := e.Append(block)
+	e.Commit(p)
+	return p.Bits()
+}
+
+func isZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// symbol codes from Table 3: value and bit-width of the prefix.
+var symCode = [numSymbols]struct{ v, n int }{
+	SymU8:   {0b1011, 4},
+	SymU16:  {0b100, 3},
+	SymU32:  {0b00, 2},
+	SymM32:  {0b01, 2},
+	SymZ32:  {0b1010, 4},
+	SymM64:  {0b1100, 4},
+	SymZ64:  {0b1101, 4},
+	SymM128: {0b11100, 5},
+	SymZ128: {0b11101, 5},
+	SymM256: {0b11110, 5},
+	SymZ256: {0b11111, 5},
+}
+
+var (
+	zSym = [4]Symbol{SymZ32, SymZ64, SymZ128, SymZ256}
+	mSym = [4]Symbol{SymM32, SymM64, SymM128, SymM256}
+)
+
+// encodeChunk compresses one 32-byte chunk and performs post-chunk
+// dictionary allocation for failed large blocks.
+func (e *Encoder) encodeChunk(ps *pendState, chunk []byte) {
+	var failed [][2]int // (level, offset) of regions that failed to compress
+	e.encodeRegion(ps, chunk, lvl256, 0, &failed)
+	// Post-chunk allocation (paper: "before compressing the next 256b
+	// chunk, LBE allocates dictionary entries for any of the 64/128/256b
+	// chunks that failed to compress"). Children first so parents can be
+	// expressed as trees over existing entries.
+	for lvl := lvl64; lvl <= lvl256; lvl++ {
+		for _, f := range failed {
+			if f[0] != lvl {
+				continue
+			}
+			g := granBytes(lvl)
+			region := chunk[f[1] : f[1]+g]
+			if e.representable(ps, region) {
+				ps.add(lvl, region)
+			}
+		}
+	}
+}
+
+// representable reports whether every 32-bit word of region is zero or
+// present in the 32-bit dictionary — the condition for a binary-tree
+// entry at a larger granularity to have valid leaf pointers.
+func (e *Encoder) representable(ps *pendState, region []byte) bool {
+	for off := 0; off < len(region); off += 4 {
+		w := region[off : off+4]
+		if isZero(w) {
+			continue
+		}
+		if _, ok := ps.lookup(lvl32, w); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Encoder) ptrBitsFor(lvl int) int {
+	switch lvl {
+	case lvl32:
+		return ptrBits(e.cfg.Dict32)
+	case lvl64:
+		return ptrBits(e.cfg.Dict64)
+	case lvl128:
+		return ptrBits(e.cfg.Dict128)
+	default:
+		return ptrBits(e.cfg.Dict256)
+	}
+}
+
+func (ps *pendState) emitSym(s Symbol) {
+	c := symCode[s]
+	ps.emit(uint64(c.v), c.n)
+	ps.p.stats[s]++
+}
+
+// encodeRegion compresses region (granBytes(lvl) bytes at offset off of
+// the chunk). It records failed 64/128/256-bit regions for post-chunk
+// dictionary allocation.
+func (e *Encoder) encodeRegion(ps *pendState, chunk []byte, lvl, off int, failed *[][2]int) {
+	g := granBytes(lvl)
+	region := chunk[off : off+g]
+	if isZero(region) {
+		ps.emitSym(zSym[lvl])
+		return
+	}
+	if idx, ok := ps.lookup(lvl, region); ok {
+		ps.emitSym(mSym[lvl])
+		ps.emit(uint64(idx), e.ptrBitsFor(lvl))
+		return
+	}
+	if lvl > lvl32 {
+		*failed = append(*failed, [2]int{lvl, off})
+		half := g / 2
+		e.encodeRegion(ps, chunk, lvl-1, off, failed)
+		e.encodeRegion(ps, chunk, lvl-1, off+half, failed)
+		return
+	}
+	// 32-bit literal with upper-zero truncation (u8/u16/u32). Words are
+	// interpreted little-endian, matching the x86 memory images the paper
+	// traces: a small integer has zero bytes at the high addresses.
+	w := binary.LittleEndian.Uint32(region)
+	switch {
+	case w < 1<<8:
+		ps.emitSym(SymU8)
+		ps.emit(uint64(w), 8)
+	case w < 1<<16:
+		ps.emitSym(SymU16)
+		ps.emit(uint64(w), 16)
+	default:
+		ps.emitSym(SymU32)
+		ps.emit(uint64(w), 32)
+	}
+	ps.add(lvl32, region)
+}

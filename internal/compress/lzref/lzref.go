@@ -1,0 +1,221 @@
+// Package lzref implements a compact LZ77 reference codec. The MORC
+// paper reports (§6) that LZ, used as a drop-in replacement for LBE, has
+// similar compression performance but is impractical in hardware
+// (commercial implementations reach only 4 bytes/cycle). This package
+// exists to reproduce that comparison: a byte-granular, greedy
+// longest-match LZ over the log's whole history — strictly more general
+// than LBE's aligned fixed-granularity matches.
+//
+// Format (bit-level, MSB-first):
+//
+//	0 <8-bit literal>
+//	1 <len-gamma> <dist-bits>    match of length len (>= minMatch)
+//
+// where len-gamma is an Elias-gamma-coded (len-minMatch+1) and dist is a
+// fixed-width offset into the window (log2(window) bits).
+package lzref
+
+import (
+	"fmt"
+
+	"morc/internal/compress/bitstream"
+)
+
+const (
+	// MinMatch is the shortest encodable match.
+	MinMatch = 3
+	hashLen  = 3
+)
+
+// Config sizes the match window (the log size, for MORC's use).
+type Config struct {
+	WindowBytes int
+}
+
+// DefaultConfig matches a 4096-byte uncompressed reach, comfortably
+// covering a 512B log's contents at 8x compression.
+func DefaultConfig() Config { return Config{WindowBytes: 4096} }
+
+func (c Config) distBits() int {
+	b := 1
+	for 1<<uint(b) < c.WindowBytes {
+		b++
+	}
+	return b
+}
+
+// Encoder is a streaming LZ77 encoder with Append semantics mirroring
+// lbe.Encoder (one Encoder per log).
+type Encoder struct {
+	cfg     Config
+	w       *bitstream.Writer
+	history []byte
+	// hash chains: position lists per 3-byte prefix hash
+	table map[uint32][]int
+	inLen int
+}
+
+// NewEncoder returns an empty streaming encoder.
+func NewEncoder(cfg Config) *Encoder {
+	if cfg.WindowBytes < 16 {
+		panic(fmt.Sprintf("lzref: window %d too small", cfg.WindowBytes))
+	}
+	return &Encoder{cfg: cfg, w: bitstream.NewWriter(), table: make(map[uint32][]int)}
+}
+
+// Bits returns the compressed size so far.
+func (e *Encoder) Bits() int { return e.w.Len() }
+
+// Bytes returns the compressed stream.
+func (e *Encoder) Bytes() []byte { return e.w.Bytes() }
+
+// InputBytes returns total uncompressed input.
+func (e *Encoder) InputBytes() int { return e.inLen }
+
+func hash3(b []byte) uint32 {
+	return (uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])) * 2654435761 >> 8
+}
+
+// Append compresses block onto the stream, returning the bits added.
+func (e *Encoder) Append(block []byte) int {
+	start := e.w.Len()
+	base := len(e.history)
+	e.history = append(e.history, block...)
+	distBits := e.cfg.distBits()
+	i := base
+	for i < len(e.history) {
+		bestLen, bestDist := 0, 0
+		if i+hashLen <= len(e.history) {
+			h := hash3(e.history[i : i+hashLen])
+			for _, pos := range e.table[h] {
+				if i-pos > e.cfg.WindowBytes || pos >= i {
+					continue
+				}
+				l := matchLen(e.history, pos, i)
+				if l > bestLen {
+					bestLen, bestDist = l, i-pos
+				}
+			}
+		}
+		if bestLen >= MinMatch {
+			e.w.WriteBit(true)
+			writeGamma(e.w, uint64(bestLen-MinMatch+1))
+			e.w.WriteBits(uint64(bestDist-1), distBits)
+			for k := 0; k < bestLen && i+hashLen <= len(e.history); k++ {
+				e.insert(i + k)
+			}
+			i += bestLen
+		} else {
+			e.w.WriteBit(false)
+			e.w.WriteBits(uint64(e.history[i]), 8)
+			if i+hashLen <= len(e.history) {
+				e.insert(i)
+			}
+			i++
+		}
+	}
+	e.inLen += len(block)
+	return e.w.Len() - start
+}
+
+func (e *Encoder) insert(pos int) {
+	if pos+hashLen > len(e.history) {
+		return
+	}
+	h := hash3(e.history[pos : pos+hashLen])
+	chain := e.table[h]
+	// Bound chains so pathological inputs stay linear.
+	if len(chain) >= 32 {
+		chain = chain[1:]
+	}
+	e.table[h] = append(chain, pos)
+}
+
+func matchLen(hist []byte, from, at int) int {
+	n := 0
+	for at+n < len(hist) && hist[from+n] == hist[at+n] {
+		n++
+		if n >= 255+MinMatch {
+			break
+		}
+	}
+	return n
+}
+
+// writeGamma emits Elias-gamma code for v >= 1.
+func writeGamma(w *bitstream.Writer, v uint64) {
+	if v == 0 {
+		panic("lzref: gamma of zero")
+	}
+	nbits := 0
+	for t := v; t > 1; t >>= 1 {
+		nbits++
+	}
+	for i := 0; i < nbits; i++ {
+		w.WriteBit(false)
+	}
+	w.WriteBits(v, nbits+1)
+}
+
+func readGamma(r *bitstream.Reader) (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			break
+		}
+		zeros++
+		if zeros > 60 {
+			return 0, fmt.Errorf("lzref: gamma overflow")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(zeros) | rest, nil
+}
+
+// Decode decompresses the first nbits of data into outLen bytes.
+func Decode(cfg Config, data []byte, nbits, outLen int) ([]byte, error) {
+	r := bitstream.NewReader(data, nbits)
+	distBits := cfg.distBits()
+	out := make([]byte, 0, outLen)
+	for len(out) < outLen {
+		isMatch, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if !isMatch {
+			v, err := r.ReadBits(8)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(v))
+			continue
+		}
+		g, err := readGamma(r)
+		if err != nil {
+			return nil, err
+		}
+		length := int(g) + MinMatch - 1
+		d, err := r.ReadBits(distBits)
+		if err != nil {
+			return nil, err
+		}
+		dist := int(d) + 1
+		if dist > len(out) {
+			return nil, fmt.Errorf("lzref: distance %d beyond %d decoded bytes", dist, len(out))
+		}
+		for k := 0; k < length; k++ {
+			out = append(out, out[len(out)-dist])
+		}
+	}
+	if len(out) != outLen {
+		return nil, fmt.Errorf("lzref: overshoot to %d bytes, want %d", len(out), outLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+// Package oracle implements the idealized intra-line and inter-line
+// compression models behind the paper's Figure 2 limit study.
+//
+// Following the paper's footnote 1: a set-based cache where lines are
+// compressed into 512-byte sets as much as possible and evicted with LRU.
+// Lines are compressed by splitting them into 4-byte words and
+// deduplicating them — within the cache line for the intra model, across
+// all cached lines for the inter model. Small values are further
+// compressed by discarding most-significant zero bytes (significance
+// compression). Neither model pays any metadata overhead (no pointers,
+// tags, or fragmentation) — which is exactly what makes them oracles.
+package oracle
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"morc/internal/cache"
+)
+
+// Kind selects the dedup scope.
+type Kind int
+
+// Oracle flavors.
+const (
+	Intra Kind = iota // dedup within each line
+	Inter             // dedup across every cached line
+)
+
+// String names the oracle.
+func (k Kind) String() string {
+	if k == Intra {
+		return "Oracle-Intra"
+	}
+	return "Oracle-Inter"
+}
+
+// SetBytes is the data capacity of each set (footnote 1).
+const SetBytes = 512
+
+// sigBytes is the significance-compressed cost of one word: its non-zero
+// length after stripping most-significant zero bytes (0 for a zero word).
+func sigBytes(w uint32) int {
+	switch {
+	case w == 0:
+		return 0
+	case w < 1<<8:
+		return 1
+	case w < 1<<16:
+		return 2
+	case w < 1<<24:
+		return 3
+	default:
+		return 4
+	}
+}
+
+type entry struct {
+	addr  uint64
+	cost  int // bytes charged at insertion time
+	words []uint32
+	seq   uint64
+}
+
+// Cache is the oracle compressed cache.
+type Cache struct {
+	kind  Kind
+	nSets int
+	sets  [][]entry
+	used  []int // bytes per set
+	// Inter: reference counts of words present anywhere in the cache.
+	refs  map[uint32]int
+	clock uint64
+
+	Hits, Misses uint64
+}
+
+// New builds an oracle cache of the given capacity.
+func New(kind Kind, cacheBytes int) *Cache {
+	if cacheBytes <= 0 || cacheBytes%SetBytes != 0 {
+		panic(fmt.Sprintf("oracle: capacity %d not a multiple of %d", cacheBytes, SetBytes))
+	}
+	n := cacheBytes / SetBytes
+	c := &Cache{kind: kind, nSets: n, sets: make([][]entry, n), used: make([]int, n)}
+	if kind == Inter {
+		c.refs = make(map[uint32]int)
+	}
+	return c
+}
+
+func words(data []byte) []uint32 {
+	ws := make([]uint32, len(data)/4)
+	for i := range ws {
+		ws[i] = binary.LittleEndian.Uint32(data[i*4:])
+	}
+	return ws
+}
+
+// lineCost is the idealized compressed size of a line in bytes.
+func (c *Cache) lineCost(ws []uint32) int {
+	cost := 0
+	switch c.kind {
+	case Intra:
+		seen := make(map[uint32]bool, len(ws))
+		for _, w := range ws {
+			if w == 0 || seen[w] {
+				continue
+			}
+			seen[w] = true
+			cost += sigBytes(w)
+		}
+	case Inter:
+		seen := make(map[uint32]bool, len(ws))
+		for _, w := range ws {
+			if w == 0 || seen[w] || c.refs[w] > 0 {
+				continue
+			}
+			seen[w] = true
+			cost += sigBytes(w)
+		}
+	}
+	return cost
+}
+
+func (c *Cache) setOf(addr uint64) int {
+	return int(cache.LineTag(addr) % uint64(c.nSets))
+}
+
+// Access touches addr with the given line data, filling on a miss.
+// It reports whether the access hit.
+func (c *Cache) Access(addr uint64, data []byte) bool {
+	la := cache.LineAddr(addr)
+	si := c.setOf(addr)
+	for i := range c.sets[si] {
+		if c.sets[si][i].addr == la {
+			c.clock++
+			c.sets[si][i].seq = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	c.fill(si, la, data)
+	return false
+}
+
+func (c *Cache) fill(si int, la uint64, data []byte) {
+	ws := words(data)
+	cost := c.lineCost(ws)
+	// Evict LRU until the line fits (a zero-cost line always fits).
+	for c.used[si]+cost > SetBytes && len(c.sets[si]) > 0 {
+		c.evictLRU(si)
+	}
+	if c.used[si]+cost > SetBytes {
+		return // incompressible line larger than an empty set: bypass
+	}
+	c.clock++
+	c.sets[si] = append(c.sets[si], entry{addr: la, cost: cost, words: ws, seq: c.clock})
+	c.used[si] += cost
+	if c.kind == Inter {
+		for _, w := range ws {
+			if w != 0 {
+				c.refs[w]++
+			}
+		}
+	}
+}
+
+func (c *Cache) evictLRU(si int) {
+	victim := 0
+	for i := 1; i < len(c.sets[si]); i++ {
+		if c.sets[si][i].seq < c.sets[si][victim].seq {
+			victim = i
+		}
+	}
+	e := c.sets[si][victim]
+	c.sets[si] = append(c.sets[si][:victim], c.sets[si][victim+1:]...)
+	c.used[si] -= e.cost
+	if c.kind == Inter {
+		for _, w := range e.words {
+			if w != 0 {
+				c.refs[w]--
+				if c.refs[w] == 0 {
+					delete(c.refs, w)
+				}
+			}
+		}
+	}
+}
+
+// Ratio returns cached uncompressed bytes over capacity.
+func (c *Cache) Ratio() float64 {
+	lines := 0
+	for si := range c.sets {
+		lines += len(c.sets[si])
+	}
+	return float64(lines*cache.LineSize) / float64(c.nSets*SetBytes)
+}
+
+// Lines returns the number of cached lines.
+func (c *Cache) Lines() int {
+	n := 0
+	for si := range c.sets {
+		n += len(c.sets[si])
+	}
+	return n
+}
+
+// CheckInvariants verifies occupancy accounting (tests).
+func (c *Cache) CheckInvariants() error {
+	refCheck := map[uint32]int{}
+	for si := range c.sets {
+		used := 0
+		for i := range c.sets[si] {
+			used += c.sets[si][i].cost
+			if c.kind == Inter {
+				for _, w := range c.sets[si][i].words {
+					if w != 0 {
+						refCheck[w]++
+					}
+				}
+			}
+		}
+		if used != c.used[si] {
+			return fmt.Errorf("set %d: used %d, recorded %d", si, used, c.used[si])
+		}
+		if used > SetBytes {
+			return fmt.Errorf("set %d: %d bytes exceed %d", si, used, SetBytes)
+		}
+	}
+	if c.kind == Inter {
+		if len(refCheck) != len(c.refs) {
+			return fmt.Errorf("refcount map has %d keys, expected %d", len(c.refs), len(refCheck))
+		}
+		for w, n := range refCheck {
+			if c.refs[w] != n {
+				return fmt.Errorf("word %#x refcount %d, expected %d", w, c.refs[w], n)
+			}
+		}
+	}
+	return nil
+}

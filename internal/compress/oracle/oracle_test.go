@@ -1,0 +1,170 @@
+package oracle
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"morc/internal/cache"
+	"morc/internal/rng"
+)
+
+func mkLine(ws []uint32) []byte {
+	b := make([]byte, cache.LineSize)
+	for i, w := range ws {
+		binary.LittleEndian.PutUint32(b[i*4:], w)
+	}
+	return b
+}
+
+func TestSigBytes(t *testing.T) {
+	cases := map[uint32]int{0: 0, 1: 1, 255: 1, 256: 2, 65535: 2, 65536: 3, 1 << 24: 4}
+	for w, want := range cases {
+		if got := sigBytes(w); got != want {
+			t.Fatalf("sigBytes(%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestZeroLinesAreFree(t *testing.T) {
+	c := New(Intra, 4*1024)
+	for i := 0; i < 1000; i++ {
+		c.Access(uint64(i)*cache.LineSize, make([]byte, cache.LineSize))
+	}
+	// All 1000 zero lines fit: cost 0 each.
+	if c.Lines() != 1000 {
+		t.Fatalf("cached %d zero lines, want 1000", c.Lines())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterDedupAcrossLines(t *testing.T) {
+	// The same non-zero words in every line: inter pays once, intra pays
+	// per line.
+	ws := make([]uint32, 16)
+	for i := range ws {
+		ws[i] = 0xDEAD0000 + uint32(i)
+	}
+	intra := New(Intra, 4*1024)
+	inter := New(Inter, 4*1024)
+	for i := 0; i < 500; i++ {
+		addr := uint64(i) * cache.LineSize
+		intra.Access(addr, mkLine(ws))
+		inter.Access(addr, mkLine(ws))
+	}
+	if inter.Ratio() <= 2*intra.Ratio() {
+		t.Fatalf("inter ratio %g not far beyond intra %g", inter.Ratio(), intra.Ratio())
+	}
+	if err := inter.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraDedupWithinLine(t *testing.T) {
+	// One line with 16 identical non-zero words costs sigBytes once.
+	c := New(Intra, SetBytes)
+	ws := make([]uint32, 16)
+	for i := range ws {
+		ws[i] = 0xABCD
+	}
+	c.Access(0, mkLine(ws))
+	if c.used[0] != 2 { // 0xABCD is a 2-byte value
+		t.Fatalf("intra cost %d, want 2", c.used[0])
+	}
+}
+
+func TestLRUEvictionWhenFull(t *testing.T) {
+	c := New(Intra, SetBytes) // single set
+	r := rng.New(1)
+	// Incompressible lines cost ~64B; 512B set holds 8.
+	for i := 0; i < 12; i++ {
+		ws := make([]uint32, 16)
+		for j := range ws {
+			ws[j] = r.Uint32() | 0xFF000000
+		}
+		c.Access(uint64(i)*cache.LineSize, mkLine(ws))
+	}
+	if c.Lines() > 8 {
+		t.Fatalf("%d incompressible lines in a 512B set", c.Lines())
+	}
+	// Oldest must be gone.
+	if got := c.Access(0, mkLine(make([]uint32, 16))); got {
+		t.Fatal("LRU line still present")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitDoesNotRefill(t *testing.T) {
+	c := New(Inter, 4*1024)
+	ws := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	c.Access(0, mkLine(ws))
+	miss1 := c.Misses
+	c.Access(0, mkLine(ws))
+	if c.Misses != miss1 || c.Hits != 1 {
+		t.Fatalf("hit accounting wrong: %d hits %d misses", c.Hits, c.Misses)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefcountsDropOnEviction(t *testing.T) {
+	c := New(Inter, SetBytes)
+	r := rng.New(2)
+	for i := 0; i < 50; i++ {
+		ws := make([]uint32, 16)
+		for j := range ws {
+			ws[j] = r.Uint32() | 0xFF000000
+		}
+		c.Access(uint64(i)*cache.LineSize, mkLine(ws))
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("after access %d: %v", i, err)
+		}
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad capacity did not panic")
+		}
+	}()
+	New(Intra, 1000)
+}
+
+func TestInterAtLeastIntraProperty(t *testing.T) {
+	// Inter-line dedup can only reduce cost relative to intra-line, so
+	// with identical access streams the inter oracle caches at least as
+	// many lines.
+	f := func(seed uint64, poolBits uint8) bool {
+		r := rng.New(seed)
+		poolSize := int(poolBits%6) + 2
+		pool := make([]uint32, poolSize)
+		for i := range pool {
+			pool[i] = r.Uint32() | 1
+		}
+		intra := New(Intra, 2*1024)
+		inter := New(Inter, 2*1024)
+		for i := 0; i < 300; i++ {
+			ws := make([]uint32, 16)
+			for j := range ws {
+				ws[j] = pool[r.Intn(poolSize)]
+			}
+			addr := uint64(r.Intn(100)) * cache.LineSize
+			line := mkLine(ws)
+			intra.Access(addr, line)
+			inter.Access(addr, line)
+		}
+		if intra.CheckInvariants() != nil || inter.CheckInvariants() != nil {
+			return false
+		}
+		return inter.Hits >= intra.Hits || inter.Lines() >= intra.Lines()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

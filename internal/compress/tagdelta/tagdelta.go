@@ -1,0 +1,304 @@
+// Package tagdelta implements MORC's tag compression (§3.2.4): tags are
+// encoded as deltas to their immediate predecessor using a DEFLATE-style
+// distance code (the paper's Table 2), plus a validity bit, a sign bit,
+// and a new-base escape for deltas beyond 2MB. A multi-base variant
+// tracks two bases and adds a base-selection bit, which captures two
+// interleaved address streams (e.g. stack + heap, or two cores).
+//
+// Distance coding (distances are in units of 64-byte cache lines):
+//
+//	code 0-3    distance 1-4           0 precision bits
+//	code 4-5    distance 5-8           1 bit
+//	code 6-7    distance 9-16          2 bits
+//	...                                ...
+//	code 26-27  distance 8193-16384    12 bits
+//	code 28-29  distance 16385-32768   13 bits
+//	code 30-31  new base               0 bits (full tag follows)
+//
+// Because MORC appends cache lines to a log in temporal order, successive
+// tags are usually near each other and compress to a handful of bits.
+package tagdelta
+
+import (
+	"fmt"
+
+	"morc/internal/compress/bitstream"
+)
+
+// Config parameterizes the tag codec.
+type Config struct {
+	// TagBits is the width of a full (uncompressed) tag. The paper assumes
+	// a 48-bit physical address space and 64-byte lines, so a full line
+	// tag is 42 bits.
+	TagBits int
+	// MultiBase enables the two-base variant (adds one base-select bit per
+	// tag). The paper's default MORC configuration uses 2 bases.
+	MultiBase bool
+}
+
+// DefaultConfig is the paper's evaluated configuration.
+func DefaultConfig() Config { return Config{TagBits: 42, MultiBase: true} }
+
+const (
+	codeBits    = 5
+	maxDistance = 32768 // 2MB in 64B lines
+	newBaseCode = 30
+)
+
+// distCode returns the Table 2 code and precision-bit count for a
+// distance in [1, maxDistance].
+func distCode(dist uint64) (code, precBits int, extra uint64) {
+	if dist < 1 || dist > maxDistance {
+		panic(fmt.Sprintf("tagdelta: distance %d out of range", dist))
+	}
+	if dist <= 4 {
+		return int(dist - 1), 0, 0
+	}
+	// Group k (k>=0): codes 2k+4 and 2k+5 cover (2^(k+2), 2^(k+3)],
+	// each code spanning 2^(k+1) distances with k+1 precision bits.
+	k := 0
+	for dist > uint64(1)<<uint(k+3) {
+		k++
+	}
+	span := uint64(1) << uint(k+1)
+	base := uint64(1)<<uint(k+2) + 1
+	off := dist - base
+	code = 2*k + 4 + int(off/span)
+	extra = off % span
+	return code, k + 1, extra
+}
+
+// distFromCode inverts distCode.
+func distFromCode(code int, extra uint64) uint64 {
+	if code < 4 {
+		return uint64(code) + 1
+	}
+	k := (code - 4) / 2
+	span := uint64(1) << uint(k+1)
+	base := uint64(1)<<uint(k+2) + 1
+	return base + uint64((code-4)%2)*span + extra
+}
+
+// deltaBits returns the encoded size in bits of encoding tag against base:
+// sign + code + precision for a reachable delta, or the new-base escape.
+// It does not include the validity or base-select bits.
+func (c Config) deltaBits(tag, base uint64, haveBase bool) int {
+	if !haveBase {
+		return codeBits + c.TagBits
+	}
+	var dist uint64
+	if tag >= base {
+		dist = tag - base
+	} else {
+		dist = base - tag
+	}
+	if dist == 0 || dist > maxDistance {
+		return codeBits + c.TagBits
+	}
+	_, prec, _ := distCode(dist)
+	return 1 + codeBits + prec
+}
+
+// Stream is an append-only compressed tag stream (one per MORC log). It
+// tracks exact bit sizes and supports trial sizing for the multi-log
+// insertion decision. The produced bitstream round-trips through Decode.
+type Stream struct {
+	cfg    Config
+	w      *bitstream.Writer
+	bases  [2]uint64
+	have   [2]bool
+	used   [2]int // last-append sequence number, for LRU tie-breaking
+	count  int
+	starts []int // bit offset of each tag entry (validity bit position)
+}
+
+// NewStream returns an empty tag stream.
+func NewStream(cfg Config) *Stream {
+	if cfg.TagBits < 1 || cfg.TagBits > 64 {
+		panic(fmt.Sprintf("tagdelta: TagBits %d out of range", cfg.TagBits))
+	}
+	return &Stream{cfg: cfg, w: bitstream.NewWriter()}
+}
+
+// Clone returns an independent copy.
+func (s *Stream) Clone() *Stream {
+	return &Stream{
+		cfg:    s.cfg,
+		w:      s.w.Clone(),
+		bases:  s.bases,
+		have:   s.have,
+		used:   s.used,
+		count:  s.count,
+		starts: append([]int(nil), s.starts...),
+	}
+}
+
+// Bits returns the stream size in bits.
+func (s *Stream) Bits() int { return s.w.Len() }
+
+// Count returns the number of tags appended.
+func (s *Stream) Count() int { return s.count }
+
+// Bytes returns the raw stream.
+func (s *Stream) Bytes() []byte { return s.w.Bytes() }
+
+// pickBase chooses the cheapest base for tag. Returns base index and cost
+// in bits excluding validity/base-select overhead.
+func (s *Stream) pickBase(tag uint64) (int, int) {
+	if !s.cfg.MultiBase {
+		return 0, s.cfg.deltaBits(tag, s.bases[0], s.have[0])
+	}
+	c0 := s.cfg.deltaBits(tag, s.bases[0], s.have[0])
+	c1 := s.cfg.deltaBits(tag, s.bases[1], s.have[1])
+	switch {
+	case c1 < c0:
+		return 1, c1
+	case c0 < c1:
+		return 0, c0
+	case s.used[1] < s.used[0]:
+		// Tie (typically two escapes): replace the least-recently used
+		// base so interleaved streams seed both bases.
+		return 1, c1
+	default:
+		return 0, c0
+	}
+}
+
+// overhead returns the per-tag fixed bits: validity + base select.
+func (s *Stream) overhead() int {
+	if s.cfg.MultiBase {
+		return 2
+	}
+	return 1
+}
+
+// TrialBits returns how many bits appending tag would add, without
+// modifying the stream.
+func (s *Stream) TrialBits(tag uint64) int {
+	_, cost := s.pickBase(tag)
+	return s.overhead() + cost
+}
+
+// Append encodes tag into the stream, returning the bits added.
+func (s *Stream) Append(tag uint64) int {
+	if tag >= 1<<uint(s.cfg.TagBits) {
+		panic(fmt.Sprintf("tagdelta: tag %#x exceeds %d bits", tag, s.cfg.TagBits))
+	}
+	baseIdx, _ := s.pickBase(tag)
+	start := s.w.Len()
+	s.starts = append(s.starts, start)
+	s.w.WriteBit(true) // validity
+	if s.cfg.MultiBase {
+		s.w.WriteBits(uint64(baseIdx), 1)
+	}
+	base, haveBase := s.bases[baseIdx], s.have[baseIdx]
+	var dist uint64
+	neg := false
+	if haveBase {
+		if tag >= base {
+			dist = tag - base
+		} else {
+			dist = base - tag
+			neg = true
+		}
+	}
+	if !haveBase || dist == 0 || dist > maxDistance {
+		s.w.WriteBits(newBaseCode, codeBits)
+		s.w.WriteBits(tag, s.cfg.TagBits)
+	} else {
+		// Code first, then sign: the 5-bit code unambiguously separates
+		// delta entries (codes 0-29) from new-base escapes (30-31).
+		code, prec, extra := distCode(dist)
+		s.w.WriteBits(uint64(code), codeBits)
+		s.w.WriteBit(neg)
+		if prec > 0 {
+			s.w.WriteBits(extra, prec)
+		}
+	}
+	s.bases[baseIdx] = tag
+	s.have[baseIdx] = true
+	s.count++
+	s.used[baseIdx] = s.count
+	return s.w.Len() - start
+}
+
+// Invalidate flips tag i's validity bit in place. Because the bit has a
+// fixed position and the delta chain still decodes through invalid
+// entries, invalidation changes neither the stream size nor subsequent
+// entries — the hardware property MORC relies on.
+func (s *Stream) Invalidate(i int) {
+	if i < 0 || i >= s.count {
+		panic(fmt.Sprintf("tagdelta: Invalidate(%d) of %d tags", i, s.count))
+	}
+	pos := s.starts[i]
+	s.w.Bytes()[pos>>3] &^= 1 << uint(7-(pos&7))
+}
+
+// Decode decodes the stream, returning each tag and its validity.
+// It exists to prove the format is self-consistent; MORC's timing model
+// only needs sizes (decode throughput is 8 tags/cycle, §3.2.4).
+func Decode(cfg Config, data []byte, nbits, n int) (tags []uint64, valid []bool, err error) {
+	r := bitstream.NewReader(data, nbits)
+	var bases [2]uint64
+	var have [2]bool
+	for i := 0; i < n; i++ {
+		vb, err := r.ReadBit()
+		if err != nil {
+			return nil, nil, fmt.Errorf("tagdelta: tag %d: %w", i, err)
+		}
+		baseIdx := 0
+		if cfg.MultiBase {
+			b, err := r.ReadBits(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			baseIdx = int(b)
+		}
+		codeU, err := r.ReadBits(codeBits)
+		if err != nil {
+			return nil, nil, err
+		}
+		if codeU >= newBaseCode {
+			full, err := r.ReadBits(cfg.TagBits)
+			if err != nil {
+				return nil, nil, err
+			}
+			tags = append(tags, full)
+			valid = append(valid, vb)
+			bases[baseIdx] = full
+			have[baseIdx] = true
+			continue
+		}
+		code := int(codeU)
+		neg, err := r.ReadBit()
+		if err != nil {
+			return nil, nil, err
+		}
+		prec := 0
+		if code >= 4 {
+			prec = (code-4)/2 + 1
+		}
+		var extra uint64
+		if prec > 0 {
+			extra, err = r.ReadBits(prec)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		dist := distFromCode(code, extra)
+		if !have[baseIdx] {
+			return nil, nil, fmt.Errorf("tagdelta: tag %d: delta against missing base", i)
+		}
+		var tag uint64
+		if neg {
+			tag = bases[baseIdx] - dist
+		} else {
+			tag = bases[baseIdx] + dist
+		}
+		tags = append(tags, tag)
+		valid = append(valid, vb)
+		bases[baseIdx] = tag
+		have[baseIdx] = true
+	}
+	return tags, valid, nil
+}

@@ -1,0 +1,278 @@
+package tagdelta
+
+import (
+	"testing"
+	"testing/quick"
+
+	"morc/internal/rng"
+)
+
+func roundTrip(t *testing.T, cfg Config, tags []uint64) {
+	t.Helper()
+	s := NewStream(cfg)
+	for _, tg := range tags {
+		s.Append(tg)
+	}
+	got, valid, err := Decode(cfg, s.Bytes(), s.Bits(), len(tags))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range tags {
+		if got[i] != tags[i] {
+			t.Fatalf("tag %d: got %#x, want %#x", i, got[i], tags[i])
+		}
+		if !valid[i] {
+			t.Fatalf("tag %d decoded invalid", i)
+		}
+	}
+}
+
+func TestDistCodeTable(t *testing.T) {
+	// Spot-check Table 2 rows.
+	cases := []struct {
+		dist       uint64
+		code, prec int
+	}{
+		{1, 0, 0}, {2, 1, 0}, {3, 2, 0}, {4, 3, 0},
+		{5, 4, 1}, {6, 4, 1}, {7, 5, 1}, {8, 5, 1},
+		{9, 6, 2}, {12, 6, 2}, {13, 7, 2}, {16, 7, 2},
+		{8193, 26, 12}, {16384, 27, 12},
+		{16385, 28, 13}, {32768, 29, 13},
+	}
+	for _, c := range cases {
+		code, prec, extra := distCode(c.dist)
+		if code != c.code || prec != c.prec {
+			t.Fatalf("distCode(%d) = (%d,%d), want (%d,%d)", c.dist, code, prec, c.code, c.prec)
+		}
+		if back := distFromCode(code, extra); back != c.dist {
+			t.Fatalf("distFromCode(%d,%d) = %d, want %d", code, extra, back, c.dist)
+		}
+	}
+}
+
+func TestDistCodeInverseExhaustive(t *testing.T) {
+	for d := uint64(1); d <= maxDistance; d++ {
+		code, prec, extra := distCode(d)
+		if code < 0 || code >= newBaseCode {
+			t.Fatalf("dist %d: code %d out of range", d, code)
+		}
+		if extra >= 1<<uint(prec) && prec > 0 {
+			t.Fatalf("dist %d: extra %d overflows %d bits", d, extra, prec)
+		}
+		if prec == 0 && extra != 0 {
+			t.Fatalf("dist %d: extra %d with 0 precision", d, extra)
+		}
+		if back := distFromCode(code, extra); back != d {
+			t.Fatalf("inverse failed at %d: got %d", d, back)
+		}
+	}
+}
+
+func TestSequentialTagsCompressWell(t *testing.T) {
+	cfg := Config{TagBits: 42, MultiBase: false}
+	s := NewStream(cfg)
+	first := s.Append(1000)
+	if first != 1+5+42 {
+		t.Fatalf("first tag = %d bits, want 48 (new base)", first)
+	}
+	next := s.Append(1001)
+	// validity + code(5) + sign(1) + 0 precision = 7 bits.
+	if next != 7 {
+		t.Fatalf("sequential tag = %d bits, want 7", next)
+	}
+}
+
+func TestNegativeDelta(t *testing.T) {
+	roundTrip(t, Config{TagBits: 42}, []uint64{5000, 4990, 4980})
+}
+
+func TestZeroDeltaUsesNewBase(t *testing.T) {
+	cfg := Config{TagBits: 42}
+	s := NewStream(cfg)
+	s.Append(77)
+	bits := s.Append(77) // identical tag: distance 0 must escape
+	if bits != 1+5+42 {
+		t.Fatalf("repeat tag = %d bits, want new-base escape", bits)
+	}
+	roundTrip(t, cfg, []uint64{77, 77, 78})
+}
+
+func TestFarJumpUsesNewBase(t *testing.T) {
+	cfg := Config{TagBits: 42}
+	s := NewStream(cfg)
+	s.Append(0)
+	bits := s.Append(maxDistance + 1) // > 2MB away
+	if bits != 1+5+42 {
+		t.Fatalf("far tag = %d bits, want new-base escape", bits)
+	}
+	roundTrip(t, cfg, []uint64{0, maxDistance + 1, maxDistance + 2})
+}
+
+func TestMaxDistanceDelta(t *testing.T) {
+	roundTrip(t, Config{TagBits: 42}, []uint64{100000, 100000 + maxDistance})
+}
+
+func TestMultiBaseInterleavedStreams(t *testing.T) {
+	// Two interleaved sequential streams: multi-base should encode all
+	// post-warmup tags as small deltas; single base would escape on every
+	// other tag.
+	tags := []uint64{1000, 900000, 1001, 900001, 1002, 900002, 1003, 900003}
+	single := NewStream(Config{TagBits: 42, MultiBase: false})
+	multi := NewStream(Config{TagBits: 42, MultiBase: true})
+	for _, tg := range tags {
+		single.Append(tg)
+		multi.Append(tg)
+	}
+	if multi.Bits() >= single.Bits() {
+		t.Fatalf("multi-base %d bits not better than single %d bits", multi.Bits(), single.Bits())
+	}
+	roundTrip(t, Config{TagBits: 42, MultiBase: true}, tags)
+}
+
+func TestTrialBitsMatchesAppend(t *testing.T) {
+	r := rng.New(1)
+	cfg := DefaultConfig()
+	s := NewStream(cfg)
+	base := uint64(1 << 20)
+	for i := 0; i < 200; i++ {
+		var tag uint64
+		switch r.Intn(3) {
+		case 0:
+			tag = base + uint64(r.Intn(100))
+		case 1:
+			tag = base + uint64(r.Intn(100000))
+		default:
+			tag = r.Uint64() & ((1 << 42) - 1)
+		}
+		want := s.TrialBits(tag)
+		got := s.Append(tag)
+		if got != want {
+			t.Fatalf("tag %d: TrialBits %d != Append %d", i, want, got)
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewStream(cfg)
+	tags := []uint64{10, 11, 12, 13}
+	for _, tg := range tags {
+		s.Append(tg)
+	}
+	sizeBefore := s.Bits()
+	s.Invalidate(1)
+	s.Invalidate(3)
+	if s.Bits() != sizeBefore {
+		t.Fatal("invalidate changed stream size")
+	}
+	got, valid, err := Decode(cfg, s.Bytes(), s.Bits(), 4)
+	if err != nil {
+		t.Fatalf("decode after invalidate: %v", err)
+	}
+	for i := range tags {
+		if got[i] != tags[i] {
+			t.Fatalf("tag %d corrupted by invalidate: %#x", i, got[i])
+		}
+	}
+	wantValid := []bool{true, false, true, false}
+	for i, w := range wantValid {
+		if valid[i] != w {
+			t.Fatalf("validity[%d] = %v, want %v", i, valid[i], w)
+		}
+	}
+}
+
+func TestInvalidateOutOfRangePanics(t *testing.T) {
+	s := NewStream(DefaultConfig())
+	s.Append(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range invalidate did not panic")
+		}
+	}()
+	s.Invalidate(1)
+}
+
+func TestOversizedTagPanics(t *testing.T) {
+	s := NewStream(Config{TagBits: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized tag did not panic")
+		}
+	}()
+	s.Append(1 << 11)
+}
+
+func TestClone(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewStream(cfg)
+	s.Append(500)
+	c := s.Clone()
+	c.Append(501)
+	if s.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("counts: %d, %d", s.Count(), c.Count())
+	}
+	s.Append(502)
+	got, _, err := Decode(cfg, s.Bytes(), s.Bits(), 2)
+	if err != nil || got[1] != 502 {
+		t.Fatalf("original stream corrupted: %v %v", got, err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, multiBase bool, n uint8) bool {
+		r := rng.New(seed)
+		cfg := Config{TagBits: 42, MultiBase: multiBase}
+		count := int(n%50) + 1
+		tags := make([]uint64, count)
+		cur := r.Uint64() & ((1 << 42) - 1)
+		for i := range tags {
+			switch r.Intn(4) {
+			case 0: // sequential
+				cur++
+			case 1: // small jump either way
+				cur += uint64(r.Intn(64))
+				if r.Bool(0.5) && cur > 1000 {
+					cur -= uint64(r.Intn(1000))
+				}
+			case 2: // repeat
+			default: // far jump
+				cur = r.Uint64() & ((1 << 42) - 1)
+			}
+			tags[i] = cur
+		}
+		s := NewStream(cfg)
+		for _, tg := range tags {
+			s.Append(tg)
+		}
+		got, _, err := Decode(cfg, s.Bytes(), s.Bits(), count)
+		if err != nil {
+			return false
+		}
+		for i := range tags {
+			if got[i] != tags[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverageBitsPerTagTemporal(t *testing.T) {
+	// The headline property: temporally clustered fills compress to a few
+	// bits per tag, far below the 42-bit uncompressed tag.
+	r := rng.New(2)
+	s := NewStream(DefaultConfig())
+	cur := uint64(1 << 30)
+	for i := 0; i < 1000; i++ {
+		cur += uint64(r.Intn(8) + 1) // streaming access pattern
+		s.Append(cur)
+	}
+	avg := float64(s.Bits()) / 1000
+	if avg > 12 {
+		t.Fatalf("average %.1f bits/tag for sequential fills, want < 12", avg)
+	}
+}

@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+
+	"morc/internal/core"
+)
+
+// Example walks the basic MORC lifecycle: fill, hit with position-
+// dependent latency, write-back with append-and-invalidate semantics.
+func Example() {
+	c := core.New(core.DefaultConfig(128 * 1024))
+
+	line := make([]byte, 64) // an all-zero line: maximally compressible
+	for i := 0; i < 100; i++ {
+		c.Fill(uint64(i)*64, line)
+	}
+
+	res := c.Read(0)
+	fmt.Println("hit:", res.Hit)
+	fmt.Println("ratio > 1:", c.Ratio() > 0)
+
+	dirty := make([]byte, 64)
+	dirty[0] = 1
+	c.WriteBack(0, dirty)
+	res = c.Read(0)
+	fmt.Println("latest data:", res.Data[0] == 1)
+	fmt.Println("invariants:", c.CheckInvariants() == nil)
+	// Output:
+	// hit: true
+	// ratio > 1: true
+	// latest data: true
+	// invariants: true
+}

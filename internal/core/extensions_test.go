@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"morc/internal/cache"
+	"morc/internal/rng"
+)
+
+// TestLogLRUReplacement: with LRU victim selection, a log whose lines
+// are re-read survives longer than untouched logs.
+func TestLogLRUReplacement(t *testing.T) {
+	for _, policy := range []LogReplacement{LogFIFO, LogLRU} {
+		cfg := smallConfig()
+		cfg.LogReplacement = policy
+		c := New(cfg)
+		r := rng.New(42)
+		// Fill a protected set first, then keep touching it while
+		// churning through a large fill stream.
+		protected := make([]uint64, 32)
+		for i := range protected {
+			protected[i] = uint64(i) * cache.LineSize
+			c.Fill(protected[i], lineVal(r, 2))
+		}
+		survived := 0
+		addr := uint64(1 << 20)
+		for round := 0; round < 200; round++ {
+			for _, a := range protected {
+				c.Read(a)
+			}
+			for k := 0; k < 16; k++ {
+				c.Fill(addr, lineVal(r, 2))
+				addr += cache.LineSize
+			}
+		}
+		for _, a := range protected {
+			if c.Read(a).Hit {
+				survived++
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		t.Logf("policy %v: %d/32 hot lines survived", policy, survived)
+		if policy == LogLRU && survived == 0 {
+			t.Error("LRU protected nothing")
+		}
+	}
+}
+
+// TestLogLRUNotWorseThanFIFOOnReuse compares hit counts directly on a
+// reuse-heavy stream.
+func TestLogLRUNotWorseThanFIFOOnReuse(t *testing.T) {
+	run := func(policy LogReplacement) uint64 {
+		cfg := smallConfig()
+		cfg.LogReplacement = policy
+		c := New(cfg)
+		r := rng.New(7)
+		for i := 0; i < 6000; i++ {
+			// Zipf-ish reuse: low addresses much hotter.
+			addr := uint64(r.Geometric(0.01)) * cache.LineSize
+			if !c.Read(addr).Hit {
+				c.Fill(addr, lineVal(r, 1))
+			}
+		}
+		return c.MorcStats().Hits
+	}
+	fifo, lru := run(LogFIFO), run(LogLRU)
+	t.Logf("FIFO hits %d, LRU hits %d", fifo, lru)
+	if float64(lru) < float64(fifo)*0.85 {
+		t.Fatalf("LRU (%d) much worse than FIFO (%d) on reuse-heavy stream", lru, fifo)
+	}
+}
+
+// TestMergedWithWriteTraffic exercises the merged layout under the
+// append+invalidate churn that stresses shared tag/data capacity.
+func TestMergedWithWriteTraffic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Merged = true
+	c := New(cfg)
+	r := rng.New(9)
+	for i := 0; i < 4000; i++ {
+		addr := uint64(r.Intn(512)) * cache.LineSize
+		if r.Bool(0.4) {
+			c.WriteBack(addr, lineVal(r, 1))
+		} else if !c.Read(addr).Hit {
+			c.Fill(addr, lineVal(r, 1))
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisableCompressionInvalidFractionTracksWrites reproduces the
+// Figure 12 mechanism at unit level: pure fills leave no invalid lines;
+// rewrite traffic does.
+func TestDisableCompressionInvalidFractionTracksWrites(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DisableCompression = true
+	cfg.UnlimitedTags = true
+	c := New(cfg)
+	r := rng.New(11)
+	for i := 0; i < 200; i++ {
+		c.Fill(uint64(i)*cache.LineSize, lineVal(r, 0))
+	}
+	if f := c.InvalidFraction(); f != 0 {
+		t.Fatalf("fills alone produced %.2f invalid fraction", f)
+	}
+	for i := 0; i < 200; i++ {
+		c.WriteBack(uint64(i%50)*cache.LineSize, lineVal(r, 0))
+	}
+	if f := c.InvalidFraction(); f == 0 {
+		t.Fatal("rewrites produced no invalid lines")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActiveLogCountAffectsGrouping: more active logs give the content-
+// aware placement more choices, which must not hurt compression on
+// mixed-content fills.
+func TestActiveLogCountAffectsGrouping(t *testing.T) {
+	ratioWith := func(active int) float64 {
+		cfg := DefaultConfig(64 * 1024)
+		cfg.ActiveLogs = active
+		cfg.UnlimitedTags = true
+		c := New(cfg)
+		r := rng.New(13)
+		for i := 0; i < 4000; i++ {
+			// Two content classes interleaved: zeros and random.
+			kind := 0
+			if i%2 == 0 {
+				kind = 2
+			}
+			c.Fill(uint64(i)*cache.LineSize, lineVal(r, kind))
+		}
+		return c.Ratio()
+	}
+	one, eight := ratioWith(1), ratioWith(8)
+	t.Logf("1 log: %.2f, 8 logs: %.2f", one, eight)
+	if eight < one*0.8 {
+		t.Fatalf("multi-log (%.2f) clearly worse than single (%.2f)", eight, one)
+	}
+}
+
+// TestVerifyReadsMode exercises the paranoid decode-on-every-hit path.
+func TestVerifyReadsMode(t *testing.T) {
+	cfg := smallConfig()
+	cfg.VerifyReads = true
+	c := New(cfg)
+	r := rng.New(77)
+	for i := 0; i < 600; i++ {
+		addr := uint64(r.Intn(128)) * cache.LineSize
+		switch r.Intn(3) {
+		case 0:
+			c.Read(addr) // decodes on hit; panics on any stream divergence
+		case 1:
+			c.Fill(addr, lineVal(r, r.Intn(3)))
+		default:
+			c.WriteBack(addr, lineVal(r, r.Intn(3)))
+		}
+	}
+}

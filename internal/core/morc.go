@@ -1,0 +1,666 @@
+package core
+
+import (
+	"fmt"
+
+	"morc/internal/cache"
+	"morc/internal/compress/lbe"
+	"morc/internal/compress/tagdelta"
+	"morc/internal/stats"
+)
+
+// Stats extends the common LLC counters with MORC-specific events.
+type Stats struct {
+	cache.Stats
+	FastMisses      uint64 // LMT entry invalid: miss resolved without tag decode
+	AliasedMisses   uint64 // LMT entry valid but tag check failed
+	LMTConflicts    uint64 // fills that evicted a conflicting LMT entry
+	LogEvictions    uint64 // whole-log flushes
+	LogReuses       uint64 // all-invalid logs reclaimed without a flush
+	TagCycles       uint64 // cycles spent decompressing tags
+	TagAppends      uint64 // tags appended (diagnostics)
+	TagEscapes      uint64 // tag appends that needed a new-base escape
+	TagBitsAppended uint64
+	// LatencyBytes histograms read hits by decompressed position in the
+	// log (Figure 14's buckets, in output bytes; divide by 16 for cycles).
+	LatencyBytes *stats.Histogram
+}
+
+// lineRec is the bookkeeping for one appended (compressed) line.
+type lineRec struct {
+	addr    uint64 // line-aligned address
+	valid   bool
+	endBits int    // data-stream length after this line's append
+	data    []byte // uncompressed copy (verified against the stream)
+	lmtIdx  int    // owning LMT entry (meaningful while valid)
+}
+
+// logT is one fixed-size log.
+type logT struct {
+	id        int
+	enc       *lbe.Encoder
+	tags      *tagdelta.Stream
+	lines     []lineRec
+	valid     int
+	active    bool
+	closedSeq uint64 // FIFO stamp set when the log is closed
+	lastTouch uint64 // recency stamp (reads and appends), for LogLRU
+	rawBytes  int    // occupancy when DisableCompression is set
+}
+
+// lmtEntry is a Line-Map Table entry: state bits + log index. The owner
+// address and line index are simulator bookkeeping standing in for the
+// tag check the hardware performs against the log's compressed tag store
+// (each valid entry is owned by exactly one line, so the outcome is
+// identical; the timing model still charges the tag decode).
+type lmtEntry struct {
+	valid    bool
+	modified bool
+	logIdx   int32
+	lineIdx  int32
+	owner    uint64
+	seq      uint64 // recency for way replacement
+}
+
+// Cache is a MORC last-level cache.
+type Cache struct {
+	cfg      Config
+	logs     []*logT
+	actives  []int // indices into logs
+	lmt      []lmtEntry
+	seq      uint64 // global recency / FIFO counter
+	st       Stats
+	symTotal lbe.SymbolStats // aggregated from retired encoders
+	// unlimited-mode index (UnlimitedTags): addr -> lmt slot is replaced
+	// by a plain map to (log, line).
+	unlIndex map[uint64][2]int32
+}
+
+// New builds a MORC cache, panicking on invalid configuration (a
+// construction-time programming error, matching the package style).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numLogs := cfg.CacheBytes / cfg.LogBytes
+	c := &Cache{cfg: cfg}
+	c.logs = make([]*logT, numLogs)
+	for i := range c.logs {
+		c.logs[i] = &logT{
+			id:   i,
+			enc:  lbe.NewEncoder(cfg.LBE),
+			tags: tagdelta.NewStream(cfg.Tag),
+		}
+	}
+	// Open the first ActiveLogs logs; stamp the rest closed in order so
+	// the FIFO victim sequence is deterministic.
+	for i := 0; i < cfg.ActiveLogs; i++ {
+		c.logs[i].active = true
+		c.actives = append(c.actives, i)
+	}
+	for i := cfg.ActiveLogs; i < numLogs; i++ {
+		c.seq++
+		c.logs[i].closedSeq = c.seq
+	}
+	if cfg.UnlimitedTags {
+		c.unlIndex = make(map[uint64][2]int32)
+	} else {
+		linesAt1x := cfg.CacheBytes / cache.LineSize
+		c.lmt = make([]lmtEntry, linesAt1x*cfg.LMTFactor)
+	}
+	c.st.LatencyBytes = stats.NewHistogram([]float64{64, 128, 196, 256, 320, 384, 448, 512})
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the common counters (satisfies cache.LLC).
+func (c *Cache) Stats() *cache.Stats { return &c.st.Stats }
+
+// MorcStats returns the full MORC counter set.
+func (c *Cache) MorcStats() *Stats { return &c.st }
+
+// SymbolStats returns aggregate LBE symbol usage across all logs, past
+// and present (Figure 7's data).
+func (c *Cache) SymbolStats() lbe.SymbolStats {
+	total := c.symTotal
+	for _, lg := range c.logs {
+		total.Add(lg.enc.Stats())
+	}
+	return total
+}
+
+// Ratio returns valid uncompressed bytes over data-store capacity.
+func (c *Cache) Ratio() float64 {
+	valid := 0
+	for _, lg := range c.logs {
+		valid += lg.valid
+	}
+	return float64(valid*cache.LineSize) / float64(c.cfg.CacheBytes)
+}
+
+// InvalidFraction returns the share of log entries that are invalid
+// (Figure 12's metric).
+func (c *Cache) InvalidFraction() float64 {
+	total, invalid := 0, 0
+	for _, lg := range c.logs {
+		total += len(lg.lines)
+		invalid += len(lg.lines) - lg.valid
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(invalid) / float64(total)
+}
+
+// --- LMT ------------------------------------------------------------
+//
+// The LMT is modelled as the paper's column-associative / hash-rehash
+// arrangement (§3.2.2): each address has LMTAssoc candidate entries at
+// independent hash positions across the whole table (2-choice hashing),
+// which balances load far better than fixed sets of ways.
+
+func lmtMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// lmtCandidates returns addr's candidate entry indices.
+func (c *Cache) lmtCandidates(addr uint64, buf []int) []int {
+	tag := cache.LineTag(addr)
+	buf = buf[:0]
+	for w := 0; w < c.cfg.LMTAssoc; w++ {
+		h := lmtMix(tag + uint64(w)*0x9e3779b97f4a7c15)
+		buf = append(buf, int(h%uint64(len(c.lmt))))
+	}
+	return buf
+}
+
+// lmtLookup finds the LMT entry owned by addr, or -1.
+func (c *Cache) lmtLookup(addr uint64) int {
+	la := cache.LineAddr(addr)
+	var cand [8]int
+	for _, i := range c.lmtCandidates(addr, cand[:0]) {
+		if c.lmt[i].valid && c.lmt[i].owner == la {
+			return i
+		}
+	}
+	return -1
+}
+
+// lmtValidWays returns addr's valid candidate entries (an aliased miss
+// must decode every pointed-to log's tags before declaring the miss).
+func (c *Cache) lmtValidWays(addr uint64) []int {
+	var cand [8]int
+	var ways []int
+	for _, i := range c.lmtCandidates(addr, cand[:0]) {
+		if c.lmt[i].valid {
+			ways = append(ways, i)
+		}
+	}
+	return ways
+}
+
+// tagDecodeCycles is the latency of decompressing n tags at 8 tags/cycle
+// (§3.2.4).
+func tagDecodeCycles(n int) int { return (n + 7) / 8 }
+
+// dataDecodeCycles is the latency of decompressing through the line at
+// position idx (0-based) at 16 output bytes per cycle (§4).
+func dataDecodeCycles(idx int) int { return (idx + 1) * cache.LineSize / 16 }
+
+// --- read -------------------------------------------------------------
+
+// Read implements the demand-lookup path of Figure 4.
+func (c *Cache) Read(addr uint64) cache.ReadResult {
+	c.st.Reads++
+	logIdx, lineIdx, ok, missExtra := c.locate(addr)
+	if !ok {
+		c.st.Misses++
+		c.st.ExtraCycles += uint64(missExtra)
+		return cache.ReadResult{ExtraCycles: missExtra}
+	}
+	lg := c.logs[logIdx]
+	rec := &lg.lines[lineIdx]
+	c.seq++
+	lg.lastTouch = c.seq
+	extra := tagDecodeCycles(lineIdx+1) + dataDecodeCycles(lineIdx)
+	c.st.Hits++
+	c.st.ExtraCycles += uint64(extra)
+	c.st.TagCycles += uint64(tagDecodeCycles(lineIdx + 1))
+	c.st.Decompressed += uint64((lineIdx + 1) * cache.LineSize)
+	c.st.LatencyBytes.Add(float64((lineIdx + 1) * cache.LineSize))
+	if c.cfg.VerifyReads && !c.cfg.DisableCompression {
+		c.verifyRead(lg, lineIdx)
+	}
+	out := make([]byte, cache.LineSize)
+	copy(out, rec.data)
+	return cache.ReadResult{Hit: true, Data: out, ExtraCycles: extra}
+}
+
+// verifyRead decompresses the log through lineIdx and panics if the
+// stream disagrees with the bookkeeping copy (VerifyReads mode).
+func (c *Cache) verifyRead(lg *logT, lineIdx int) {
+	dec := lbe.NewDecoder(c.cfg.LBE, lg.enc.Bytes(), lg.enc.Bits())
+	for i := 0; i <= lineIdx; i++ {
+		got, err := dec.Next(cache.LineSize)
+		if err != nil {
+			panic(fmt.Sprintf("core: VerifyReads: log %d line %d: %v", lg.id, i, err))
+		}
+		if i == lineIdx {
+			for k := range got {
+				if got[k] != lg.lines[i].data[k] {
+					panic(fmt.Sprintf("core: VerifyReads: log %d line %d differs at byte %d", lg.id, i, k))
+				}
+			}
+		}
+	}
+}
+
+// locate resolves addr to (log, line). missExtra is the tag-decode
+// latency charged when the miss could only be declared after a tag check
+// (the "LMT aliased-miss" of §3.1).
+func (c *Cache) locate(addr uint64) (logIdx, lineIdx int, ok bool, missExtra int) {
+	la := cache.LineAddr(addr)
+	if c.cfg.UnlimitedTags {
+		if pos, found := c.unlIndex[la]; found {
+			return int(pos[0]), int(pos[1]), true, 0
+		}
+		c.st.FastMisses++
+		return 0, 0, false, 0
+	}
+	if i := c.lmtLookup(addr); i >= 0 {
+		e := &c.lmt[i]
+		c.seq++
+		e.seq = c.seq
+		return int(e.logIdx), int(e.lineIdx), true, 0
+	}
+	ways := c.lmtValidWays(addr)
+	if len(ways) == 0 {
+		c.st.FastMisses++
+		return 0, 0, false, 0
+	}
+	// Aliased miss: every valid way's log tags must be decoded in full.
+	c.st.AliasedMisses++
+	for _, i := range ways {
+		lg := c.logs[c.lmt[i].logIdx]
+		cycles := tagDecodeCycles(len(lg.lines))
+		missExtra += cycles
+		c.st.TagCycles += uint64(cycles)
+	}
+	return 0, 0, false, missExtra
+}
+
+// --- fill / write-back -------------------------------------------------
+
+// Fill implements the fill path of Figure 5 (a line arriving from
+// memory after an LLC read miss).
+func (c *Cache) Fill(addr uint64, data []byte) []cache.Writeback {
+	c.st.Fills++
+	return c.insert(addr, data, false)
+}
+
+// WriteBack appends a dirty line arriving from a private cache. Logs do
+// not support in-place modification, so any previous copy is invalidated
+// and the new data appended (§3.1).
+func (c *Cache) WriteBack(addr uint64, data []byte) []cache.Writeback {
+	c.st.WriteBacks++
+	return c.insert(addr, data, true)
+}
+
+func (c *Cache) insert(addr uint64, data []byte, modified bool) []cache.Writeback {
+	if len(data) != cache.LineSize {
+		panic(fmt.Sprintf("core: insert of %d bytes", len(data)))
+	}
+	la := cache.LineAddr(addr)
+	var wbs []cache.Writeback
+
+	// Invalidate any existing copy (write-back of a line we hold, or a
+	// refill of a line that aliased). The old data is stale: no memory
+	// write-back is needed.
+	wasModified := false
+	if c.cfg.UnlimitedTags {
+		if pos, found := c.unlIndex[la]; found {
+			c.invalidateLine(int(pos[0]), int(pos[1]))
+			delete(c.unlIndex, la)
+		}
+	} else if i := c.lmtLookup(addr); i >= 0 {
+		e := &c.lmt[i]
+		wasModified = e.modified
+		c.invalidateLine(int(e.logIdx), int(e.lineIdx))
+		e.valid = false
+	}
+
+	// Allocate the LMT entry (may evict a conflicting line).
+	lmtIdx := -1
+	if !c.cfg.UnlimitedTags {
+		var conflictWBs []cache.Writeback
+		lmtIdx, conflictWBs = c.allocLMT(addr)
+		wbs = append(wbs, conflictWBs...)
+	}
+
+	logIdx, lineIdx, evWBs := c.append(la, data)
+	wbs = append(wbs, evWBs...)
+
+	if c.cfg.UnlimitedTags {
+		c.unlIndex[la] = [2]int32{int32(logIdx), int32(lineIdx)}
+	} else {
+		c.seq++
+		c.lmt[lmtIdx] = lmtEntry{
+			valid:    true,
+			modified: modified || wasModified,
+			logIdx:   int32(logIdx),
+			lineIdx:  int32(lineIdx),
+			owner:    la,
+			seq:      c.seq,
+		}
+		c.logs[logIdx].lines[lineIdx].lmtIdx = lmtIdx
+	}
+	return wbs
+}
+
+// invalidateLine marks a log entry invalid (the compressed stream is
+// untouched; only the tag validity bit flips).
+func (c *Cache) invalidateLine(logIdx, lineIdx int) {
+	lg := c.logs[logIdx]
+	rec := &lg.lines[lineIdx]
+	if !rec.valid {
+		return
+	}
+	rec.valid = false
+	lg.valid--
+	if !c.cfg.DisableCompression {
+		lg.tags.Invalidate(lineIdx)
+	}
+}
+
+// allocLMT returns a free candidate entry for addr, evicting the LRU
+// conflicting entry if all candidates are taken.
+func (c *Cache) allocLMT(addr uint64) (int, []cache.Writeback) {
+	var cand [8]int
+	cands := c.lmtCandidates(addr, cand[:0])
+	for _, i := range cands {
+		if !c.lmt[i].valid {
+			return i, nil
+		}
+	}
+	// LMT conflict: evict the least-recently-used candidate (§3.1's
+	// "LMT-conflict eviction").
+	victim := cands[0]
+	for _, i := range cands[1:] {
+		if c.lmt[i].seq < c.lmt[victim].seq {
+			victim = i
+		}
+	}
+	c.st.LMTConflicts++
+	e := &c.lmt[victim]
+	var wbs []cache.Writeback
+	if e.modified {
+		lg := c.logs[e.logIdx]
+		rec := &lg.lines[e.lineIdx]
+		// The modified line must be decompressed and sent to memory.
+		c.st.Decompressed += uint64((int(e.lineIdx) + 1) * cache.LineSize)
+		c.st.MemWBs++
+		wbs = append(wbs, cache.Writeback{Addr: rec.addr, Data: append([]byte(nil), rec.data...)})
+	}
+	c.invalidateLine(int(e.logIdx), int(e.lineIdx))
+	e.valid = false
+	return victim, wbs
+}
+
+// --- log management ----------------------------------------------------
+
+// trialFit sizes appending (tag, data) to lg. fits reports whether the
+// log can accept it; dataBits is the compressed data growth.
+func (c *Cache) trialFit(lg *logT, tag uint64, data []byte) (p *lbe.Pending, dataBits, tagBits int, fits bool) {
+	if c.cfg.DisableCompression {
+		dataBits = cache.LineSize * 8
+		return nil, dataBits, 0, lg.rawBytes+cache.LineSize <= c.cfg.LogBytes
+	}
+	p = lg.enc.Append(data)
+	dataBits = p.Bits()
+	tagBits = lg.tags.TrialBits(tag)
+	capBits := c.cfg.LogBytes * 8
+	switch {
+	case c.cfg.UnlimitedTags:
+		fits = lg.enc.Bits()+dataBits <= capBits
+	case c.cfg.Merged:
+		fits = lg.enc.Bits()+dataBits+lg.tags.Bits()+tagBits <= capBits
+	default:
+		fits = lg.enc.Bits()+dataBits <= capBits &&
+			lg.tags.Bits()+tagBits <= c.cfg.TagBytesPerLog*8
+	}
+	c.st.Compressions++
+	return p, dataBits, tagBits, fits
+}
+
+// append compresses the line into the best active log (content-aware
+// multi-log selection, §3.2.3), opening a fresh log when nothing fits.
+func (c *Cache) append(la uint64, data []byte) (logIdx, lineIdx int, wbs []cache.Writeback) {
+	tag := cache.LineTag(la)
+
+	type trial struct {
+		slot    int // index into c.actives
+		pending *lbe.Pending
+		bits    int // data + tag growth: the storage the append consumes
+		fits    bool
+	}
+	trials := make([]trial, len(c.actives))
+	for i, li := range c.actives {
+		p, db, tb, fits := c.trialFit(c.logs[li], tag, data)
+		trials[i] = trial{slot: i, pending: p, bits: db + tb, fits: fits}
+	}
+
+	best, worst := -1, -1
+	for i := range trials {
+		if !trials[i].fits {
+			continue
+		}
+		if best < 0 || trials[i].bits < trials[best].bits {
+			best = i
+		}
+		if worst < 0 || trials[i].bits > trials[worst].bits {
+			worst = i
+		}
+	}
+
+	if best < 0 {
+		// Nothing fits: close the fullest active log, recycle a victim,
+		// and compress into the fresh log.
+		fullest := 0
+		for i := 1; i < len(c.actives); i++ {
+			if c.occBits(c.logs[c.actives[i]]) > c.occBits(c.logs[c.actives[fullest]]) {
+				fullest = i
+			}
+		}
+		wbs = c.recycle(fullest)
+		li := c.actives[fullest]
+		p, _, _, fits := c.trialFit(c.logs[li], tag, data)
+		if !fits {
+			panic(fmt.Sprintf("core: line does not fit in an empty %dB log", c.cfg.LogBytes))
+		}
+		idx := c.commitAppend(li, p, tag, la, data)
+		return li, idx, wbs
+	}
+
+	// Fudge-factor diversification: when best and worst are within the
+	// configured fraction, seed the least-used fitting log instead.
+	choice := best
+	if c.cfg.FudgeFactor > 0 && worst >= 0 &&
+		float64(trials[worst].bits-trials[best].bits) <= c.cfg.FudgeFactor*float64(trials[worst].bits) {
+		least := -1
+		for i := range trials {
+			if !trials[i].fits {
+				continue
+			}
+			if least < 0 || c.occBits(c.logs[c.actives[i]]) < c.occBits(c.logs[c.actives[least]]) {
+				least = i
+			}
+		}
+		choice = least
+	}
+
+	li := c.actives[choice]
+	idx := c.commitAppend(li, trials[choice].pending, tag, la, data)
+	return li, idx, wbs
+}
+
+// occBits returns a log's current occupancy in bits.
+func (c *Cache) occBits(lg *logT) int {
+	if c.cfg.DisableCompression {
+		return lg.rawBytes * 8
+	}
+	if c.cfg.Merged {
+		return lg.enc.Bits() + lg.tags.Bits()
+	}
+	return lg.enc.Bits()
+}
+
+// commitAppend applies a pending compression to log li and records the
+// line. p is nil in DisableCompression mode.
+func (c *Cache) commitAppend(li int, p *lbe.Pending, tag, la uint64, data []byte) int {
+	lg := c.logs[li]
+	if c.cfg.DisableCompression {
+		lg.rawBytes += cache.LineSize
+	} else {
+		lg.enc.Commit(p)
+		tb := lg.tags.Append(tag)
+		c.st.TagBitsAppended += uint64(tb)
+		if tb >= 40 {
+			c.st.TagEscapes++
+		}
+		c.st.TagAppends++
+	}
+	lg.lines = append(lg.lines, lineRec{
+		addr:    la,
+		valid:   true,
+		endBits: lg.enc.Bits(),
+		data:    append([]byte(nil), data...),
+	})
+	lg.valid++
+	c.seq++
+	lg.lastTouch = c.seq
+	return len(lg.lines) - 1
+}
+
+// recycle closes the active log at slot (index into c.actives), selects a
+// victim log — preferring all-invalid closed logs, else FIFO — flushes it
+// if needed, and installs the fresh log in the slot.
+func (c *Cache) recycle(slot int) []cache.Writeback {
+	closing := c.logs[c.actives[slot]]
+	closing.active = false
+	c.seq++
+	closing.closedSeq = c.seq
+
+	victim := c.pickVictim()
+	var wbs []cache.Writeback
+	if victim.valid > 0 {
+		wbs = c.flush(victim)
+		c.st.LogEvictions++
+	} else {
+		c.st.LogReuses++
+		c.retireInvalid(victim)
+	}
+	victim.active = true
+	victim.closedSeq = 0
+	c.actives[slot] = victim.id
+	return wbs
+}
+
+// pickVictim selects the log to reclaim: the oldest all-invalid closed
+// log if any (reuse priority, §3.2.1), else by the configured policy —
+// oldest-closed (FIFO, the paper's default) or least-recently-touched
+// (LRU).
+func (c *Cache) pickVictim() *logT {
+	rank := func(lg *logT) uint64 {
+		if c.cfg.LogReplacement == LogLRU {
+			return lg.lastTouch
+		}
+		return lg.closedSeq
+	}
+	var reuse, victim *logT
+	for _, lg := range c.logs {
+		if lg.active {
+			continue
+		}
+		if lg.valid == 0 {
+			if reuse == nil || lg.closedSeq < reuse.closedSeq {
+				reuse = lg
+			}
+		}
+		if victim == nil || rank(lg) < rank(victim) {
+			victim = lg
+		}
+	}
+	if reuse != nil {
+		return reuse
+	}
+	if victim == nil {
+		panic("core: no closed log to reclaim (ActiveLogs too large)")
+	}
+	return victim
+}
+
+// flush performs a whole-log eviction: sequentially decompress, write
+// back modified lines, invalidate LMT entries, and reset the log.
+func (c *Cache) flush(lg *logT) []cache.Writeback {
+	var wbs []cache.Writeback
+	// Sequential decompression of the whole log (energy accounting; the
+	// flush is off the critical path so no latency is charged, §3.1).
+	if !c.cfg.DisableCompression {
+		c.st.Decompressed += uint64(len(lg.lines) * cache.LineSize)
+	}
+	for i := range lg.lines {
+		rec := &lg.lines[i]
+		if !rec.valid {
+			continue
+		}
+		if c.cfg.UnlimitedTags {
+			delete(c.unlIndex, rec.addr)
+			// Unlimited mode has no modified tracking in the LMT; treat
+			// lines as clean (the limit studies only measure ratios).
+		} else {
+			e := &c.lmt[rec.lmtIdx]
+			if e.valid && e.owner == rec.addr {
+				if e.modified {
+					c.st.MemWBs++
+					wbs = append(wbs, cache.Writeback{Addr: rec.addr, Data: append([]byte(nil), rec.data...)})
+				}
+				e.valid = false
+			}
+		}
+		rec.valid = false
+	}
+	lg.valid = 0
+	c.resetLog(lg)
+	return wbs
+}
+
+// retireInvalid recycles an all-invalid log without a flush.
+func (c *Cache) retireInvalid(lg *logT) {
+	if c.cfg.UnlimitedTags {
+		for i := range lg.lines {
+			if lg.lines[i].valid {
+				delete(c.unlIndex, lg.lines[i].addr)
+			}
+		}
+	}
+	c.resetLog(lg)
+}
+
+// resetLog aggregates the retiring encoder's symbol stats and reinstalls
+// empty streams.
+func (c *Cache) resetLog(lg *logT) {
+	c.symTotal.Add(lg.enc.Stats())
+	lg.enc = lbe.NewEncoder(c.cfg.LBE)
+	lg.tags = tagdelta.NewStream(c.cfg.Tag)
+	lg.lines = lg.lines[:0]
+	lg.valid = 0
+	lg.rawBytes = 0
+}
+
+var _ cache.LLC = (*Cache)(nil)

@@ -1,0 +1,101 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool {
+	if b == 0 {
+		return math.Abs(a) < 1e-18
+	}
+	return math.Abs(a-b)/math.Abs(b) < 1e-9
+}
+
+func TestTableDefaults(t *testing.T) {
+	p := TableDefaults()
+	if !almost(p.L1AccessJ, 61e-12) || !almost(p.DRAMAccessJ, 74.8e-9) {
+		t.Fatalf("wrong Table 7 constants: %+v", p)
+	}
+}
+
+func TestForScheme(t *testing.T) {
+	if p := ForScheme("MORC"); !almost(p.CompressJ, 200e-12) || !almost(p.DecompressJ, 150e-12) {
+		t.Fatalf("MORC engine energies: %+v", p)
+	}
+	if p := ForScheme("Adaptive"); !almost(p.CompressJ, 50e-12) {
+		t.Fatalf("Adaptive compression energy: %+v", p)
+	}
+	if p := ForScheme("SC2"); !almost(p.DecompressJ, 148e-12) {
+		t.Fatalf("SC2: %+v", p)
+	}
+	if p := ForScheme("Uncompressed"); p.CompressJ != 0 || p.DecompressJ != 0 {
+		t.Fatalf("Uncompressed charged engine energy: %+v", p)
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	p := ForScheme("MORC")
+	ev := Events{
+		Cycles: 2e9, Cores: 1, L1Accesses: 1e6, LLCAccesses: 1e5,
+		DRAMAccesses: 1e4, Compressions: 1e5, DecompressedBytes: 64e5,
+	}
+	b := Compute(p, ev)
+	sum := b.StaticJ + b.DRAMStaticJ + b.DRAMJ + b.SRAMJ + b.CompressJ + b.DecompressJ
+	if !almost(b.Total(), sum) {
+		t.Fatal("Total != sum of parts")
+	}
+	if b.Total() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+}
+
+func TestStaticScalesWithTime(t *testing.T) {
+	p := ForScheme("MORC")
+	b1 := Compute(p, Events{Cycles: 1e9, Cores: 1})
+	b2 := Compute(p, Events{Cycles: 2e9, Cores: 1})
+	if !almost(b2.StaticJ, 2*b1.StaticJ) {
+		t.Fatal("static energy not linear in time")
+	}
+	// One second at 2GHz: 27mW of L1+LLC static = 13.5mJ... at 1e9 cycles
+	// = 0.5s: 13.5mJ.
+	if !almost(b1.StaticJ, 0.5*27e-3) {
+		t.Fatalf("static = %g J", b1.StaticJ)
+	}
+}
+
+func TestDRAMDominatesForMissHeavyRuns(t *testing.T) {
+	// Sanity: a memory access costs ~1000x an on-chip access (Table 1's
+	// motivation), so DRAM dynamic energy dominates SRAM for equal counts.
+	p := ForScheme("Uncompressed")
+	b := Compute(p, Events{Cycles: 1, Cores: 1, L1Accesses: 1000, LLCAccesses: 1000, DRAMAccesses: 1000})
+	if b.DRAMJ < 100*b.SRAMJ {
+		t.Fatalf("DRAM %g not ≫ SRAM %g", b.DRAMJ, b.SRAMJ)
+	}
+}
+
+func TestDecompressionPerOutputByte(t *testing.T) {
+	p := ForScheme("MORC")
+	b1 := Compute(p, Events{Cycles: 1, Cores: 1, DecompressedBytes: 64})
+	b8 := Compute(p, Events{Cycles: 1, Cores: 1, DecompressedBytes: 8 * 64})
+	if !almost(b8.DecompressJ, 8*b1.DecompressJ) {
+		t.Fatal("decompression energy not linear in output")
+	}
+	if !almost(b1.DecompressJ, 150e-12) {
+		t.Fatalf("one line = %g J", b1.DecompressJ)
+	}
+}
+
+func TestScaleLLCStatic(t *testing.T) {
+	p := ScaleLLCStatic(TableDefaults(), 8)
+	if !almost(p.LLCStaticW, 160e-3) {
+		t.Fatalf("scaled LLC static = %g", p.LLCStaticW)
+	}
+}
+
+func TestZeroCoresDefaultsToOne(t *testing.T) {
+	b := Compute(TableDefaults(), Events{Cycles: 2e9})
+	if b.StaticJ <= 0 {
+		t.Fatal("zero-core events produced no static energy")
+	}
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"fmt"
+
+	"morc/internal/sim"
+	"morc/internal/stats"
+	"morc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "MORC across cache sizes (64KB-4MB): ratio, normalized bandwidth, normalized throughput",
+		Run:   runFig11,
+	})
+}
+
+// fig11Sizes are the paper's per-core LLC capacities.
+var fig11Sizes = []int{64 << 10, 128 << 10, 256 << 10, 1024 << 10, 4096 << 10}
+
+// runFig11 reproduces Figure 11: MORC vs the uncompressed baseline at
+// each cache size; bandwidth and throughput are normalized to the
+// uncompressed cache of the same size.
+func runFig11(b Budget) []*Table {
+	workloads := b.Workloads
+	if workloads == nil {
+		workloads = trace.BaseBenchmarks()
+	}
+	t := &Table{ID: "fig11", Title: "MORC vs cache size",
+		Columns: []string{"cache size", "Compression Ratio", "Normalized Bandwidth", "Normalized Throughput"}}
+
+	for _, size := range fig11Sizes {
+		schemes := []sim.Scheme{sim.Uncompressed, sim.MORC}
+		results := runSingleSet(b, workloads, schemes, func(c *sim.Config) {
+			c.LLCBytesPerCore = size
+		})
+		var ratios, bwRel, tputRel []float64
+		for wi := range workloads {
+			base, morc := results[wi][0], results[wi][1]
+			ratios = append(ratios, morc.CompRatio)
+			if base.MemBytes > 0 {
+				bwRel = append(bwRel, float64(morc.MemBytes)/float64(base.MemBytes))
+			}
+			tputRel = append(tputRel, morc.Throughput/base.Throughput)
+		}
+		label := fmt.Sprintf("%dKB", size>>10)
+		t.AddRow(label, stats.GeoMean(ratios), stats.Mean(bwRel), stats.GeoMean(tputRel))
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"morc/internal/cache"
+	"morc/internal/compress/oracle"
+	"morc/internal/stats"
+	"morc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Oracle intra-line vs inter-line compression (ratio and bandwidth reduction)",
+		Run:   runFig2,
+	})
+}
+
+// runFig2 reproduces Figure 2's limit study: ideal intra-line and
+// inter-line word-dedup caches (footnote 1) on every base benchmark,
+// reporting compression ratio and bandwidth reduction vs. an
+// uncompressed cache of the same size.
+func runFig2(b Budget) []*Table {
+	workloads := b.Workloads
+	if workloads == nil {
+		workloads = trace.BaseBenchmarks()
+	}
+	const cacheBytes = 128 * 1024
+
+	type result struct {
+		intraRatio, interRatio float64
+		intraBW, interBW       float64
+	}
+	results := make([]result, len(workloads))
+
+	parallelFor(len(workloads), func(i int) {
+		p := trace.MustGet(workloads[i])
+		gen := trace.NewSynthGen(p)
+		memv := trace.NewMemory(p)
+		l1 := cache.NewSetAssoc(32*1024, 4, cache.LRU)
+		intra := oracle.New(oracle.Intra, cacheBytes)
+		inter := oracle.New(oracle.Inter, cacheBytes)
+		base := cache.NewSetAssoc(cacheBytes, 8, cache.LRU)
+
+		target := b.Warmup + b.Measure
+		var instr uint64
+		var intraRatios, interRatios []float64
+		measured := false
+		var baseMiss, intraMiss, interMiss uint64
+		for instr < target {
+			a := gen.Next()
+			instr += a.Instructions()
+			if instr >= b.Warmup && !measured {
+				measured = true
+				baseMiss, intraMiss, interMiss = 0, 0, 0
+			}
+			if l1.Read(a.Addr).Hit {
+				continue
+			}
+			line := memv.ReadLine(a.Addr)
+			l1.Fill(a.Addr, line)
+			if !base.Read(a.Addr).Hit {
+				base.Fill(a.Addr, line)
+				baseMiss++
+			}
+			if !intra.Access(a.Addr, line) {
+				intraMiss++
+			}
+			if !inter.Access(a.Addr, line) {
+				interMiss++
+			}
+			if measured && instr%1024 == 0 {
+				intraRatios = append(intraRatios, intra.Ratio())
+				interRatios = append(interRatios, inter.Ratio())
+			}
+		}
+		r := result{
+			intraRatio: stats.Mean(intraRatios),
+			interRatio: stats.Mean(interRatios),
+		}
+		if r.intraRatio == 0 {
+			r.intraRatio = intra.Ratio()
+		}
+		if r.interRatio == 0 {
+			r.interRatio = inter.Ratio()
+		}
+		if baseMiss > 0 {
+			r.intraBW = 100 * (1 - float64(intraMiss)/float64(baseMiss))
+			r.interBW = 100 * (1 - float64(interMiss)/float64(baseMiss))
+		}
+		results[i] = r
+	})
+
+	ratio := &Table{ID: "fig2a", Title: "Oracle compression ratio (x)",
+		Columns: []string{"workload", "Oracle-Intra", "Oracle-Inter"}}
+	bw := &Table{ID: "fig2b", Title: "Oracle bandwidth reduction (%)",
+		Columns: []string{"workload", "Oracle-Intra", "Oracle-Inter"}}
+	var ir, xr, ib, xb []float64
+	for i, w := range workloads {
+		r := results[i]
+		ratio.AddRow(w, r.intraRatio, r.interRatio)
+		bw.AddRow(w, r.intraBW, r.interBW)
+		ir = append(ir, r.intraRatio)
+		xr = append(xr, r.interRatio)
+		ib = append(ib, r.intraBW)
+		xb = append(xb, r.interBW)
+	}
+	ratio.AddRow("AMean", stats.Mean(ir), stats.Mean(xr))
+	ratio.AddRow("GMean", stats.GeoMean(ir), stats.GeoMean(xr))
+	bw.AddRow("AMean", stats.Mean(ib), stats.Mean(xb))
+	return []*Table{ratio, bw}
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"morc/internal/sim"
+	"morc/internal/stats"
+	"morc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Memory-subsystem energy (Table 7 model)",
+		Run:   runFig9,
+	})
+}
+
+// fig9Schemes adds the 8x-capacity uncompressed comparison point the
+// paper includes in Figure 9a.
+func fig9Schemes() []sim.Scheme {
+	return []sim.Scheme{sim.Uncompressed, sim.Uncompressed8x,
+		sim.Adaptive, sim.Decoupled, sim.SC2, sim.MORC}
+}
+
+// runFig9 reproduces Figure 9a (absolute energy per scheme) and 9b
+// (MORC's energy normalized to the uncompressed baseline, broken down by
+// component).
+func runFig9(b Budget) []*Table {
+	workloads := b.Workloads
+	if workloads == nil {
+		workloads = trace.BaseBenchmarks()
+	}
+	schemes := fig9Schemes()
+	results := runSingleSet(b, workloads, schemes, nil)
+
+	cols := []string{"workload"}
+	for _, s := range schemes {
+		cols = append(cols, s.String())
+	}
+	// Energies reported in millijoules for readability.
+	eT := &Table{ID: "fig9a", Title: "Memory-subsystem energy (mJ)", Columns: cols}
+	bT := &Table{ID: "fig9b", Title: "MORC energy normalized to Uncompressed (breakdown)",
+		Columns: []string{"workload", "Total", "Static", "DRAM", "SRAM", "Comp", "Decomp"}}
+
+	agg := make([][]float64, len(schemes))
+	var reduction []float64
+	for wi, w := range workloads {
+		var row []float64
+		for si := range schemes {
+			mj := results[wi][si].Energy.Total() * 1e3
+			row = append(row, mj)
+			agg[si] = append(agg[si], mj)
+		}
+		eT.AddRow(w, row...)
+
+		base := results[wi][0].Energy
+		morc := results[wi][len(schemes)-1].Energy
+		total := base.Total()
+		bT.AddRow(w,
+			morc.Total()/total,
+			(morc.StaticJ+morc.DRAMStaticJ)/total,
+			morc.DRAMJ/total,
+			morc.SRAMJ/total,
+			morc.CompressJ/total,
+			morc.DecompressJ/total,
+		)
+		reduction = append(reduction, morc.Total()/total)
+	}
+	var am []float64
+	for si := range schemes {
+		am = append(am, stats.Mean(agg[si]))
+	}
+	eT.AddRow("AMean", am...)
+
+	sum := &Table{ID: "fig9sum", Title: "MORC energy reduction vs Uncompressed (%)",
+		Columns: []string{"metric", "value"}}
+	sum.AddRow("mean reduction %", 100*(1-stats.Mean(reduction)))
+	return []*Table{eT, bT, sum}
+}

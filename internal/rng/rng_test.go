@@ -1,0 +1,150 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of Float64 = %g, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate %g, want ~0.25", frac)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(21)
+	f := a.Fork()
+	// The fork must not replay the parent's stream.
+	match := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == f.Uint64() {
+			match++
+		}
+	}
+	if match > 0 {
+		t.Fatalf("fork replayed %d parent values", match)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(31)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.2)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-5.0) > 0.2 {
+		t.Fatalf("Geometric(0.2) mean %g, want ~5", mean)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	r := New(33)
+	if got := r.Geometric(1.0); got != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", got)
+	}
+	if got := r.Geometric(2.0); got != 1 {
+		t.Fatalf("Geometric(2) = %d, want 1", got)
+	}
+}
+
+func TestUniformityProperty(t *testing.T) {
+	// Property: modular reduction stays in range for arbitrary n.
+	f := func(seed uint64, n uint32) bool {
+		if n == 0 {
+			return true
+		}
+		r := New(seed)
+		v := r.Uint64n(uint64(n))
+		return v < uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "morc/internal/trace"
+
+// RunSingle simulates one workload on a single-core system.
+func RunSingle(workload string, cfg Config) Result {
+	cfg.Cores = 1
+	p := trace.MustGet(workload)
+	return New(cfg, []trace.Profile{p}).Run()
+}
+
+// RunMix simulates one of Table 6's 16-program mixes on a 16-core system
+// with a shared LLC and shared bandwidth.
+func RunMix(mixName string, cfg Config) Result {
+	mixes := trace.MultiProgramMixes()
+	progs, ok := mixes[mixName]
+	if !ok {
+		panic("sim: unknown mix " + mixName)
+	}
+	cfg.Cores = len(progs)
+	return New(cfg, trace.MixPrograms(progs)).Run()
+}
+
+// SingleRun bundles a finished system with its result for callers that
+// need post-run access to the LLC (calibration tools, experiments).
+type SingleRun struct {
+	System *System
+	Result Result
+}
+
+// RunSingleSystem is RunSingle, additionally returning the system.
+func RunSingleSystem(workload string, cfg Config) SingleRun {
+	cfg.Cores = 1
+	p := trace.MustGet(workload)
+	s := New(cfg, []trace.Profile{p})
+	return SingleRun{System: s, Result: s.Run()}
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"fmt"
+
+	"morc/internal/cache"
+	"morc/internal/compress/cpack"
+	"morc/internal/mem"
+	"morc/internal/stats"
+	"morc/internal/trace"
+)
+
+// coreState is one in-order core with its private L1 and workload.
+type coreState struct {
+	id   int
+	gen  trace.Generator
+	memv *trace.Memory
+	l1   *cache.SetAssoc
+
+	now    uint64 // local cycle count
+	instr  uint64
+	target uint64 // run until instr reaches this
+
+	// measurement-window counters
+	refs      uint64
+	l1Misses  uint64
+	stall     uint64   // cycles blocked on L1 misses
+	missLats  []uint32 // per-miss service latency (throughput model)
+	startCyc  uint64
+	startInst uint64
+}
+
+// System wires cores, the shared LLC, and the memory channel together.
+type System struct {
+	cfg    Config
+	cores  []*coreState
+	llc    cache.LLC
+	memctl *mem.Controller
+
+	ratio     *stats.Sampler
+	sampleAt  uint64
+	llcSnap   cache.Stats
+	memSnap   mem.Stats
+	measuring bool
+}
+
+// New builds a system running the given per-core workloads (len must
+// equal cfg.Cores).
+func New(cfg Config, programs []trace.Profile) *System {
+	if len(programs) != cfg.Cores {
+		panic(fmt.Sprintf("sim: %d programs for %d cores", len(programs), cfg.Cores))
+	}
+	s := &System{
+		cfg: cfg,
+		llc: cfg.newLLC(),
+		memctl: mem.NewController(mem.Config{
+			ClockHz:              cfg.ClockHz,
+			BandwidthBytesPerSec: cfg.BWPerCore * float64(cfg.Cores),
+			AccessLatency:        cfg.MemLatency,
+		}),
+		ratio: stats.NewSampler(cfg.SampleEvery),
+	}
+	for i, p := range programs {
+		s.cores = append(s.cores, &coreState{
+			id:   i,
+			gen:  trace.NewSynthGen(p),
+			memv: trace.NewMemory(p),
+			l1:   cache.NewSetAssoc(cfg.L1Bytes, cfg.L1Ways, cache.LRU),
+		})
+	}
+	return s
+}
+
+// LLC exposes the cache organization for experiment-specific probes
+// (symbol statistics, latency histograms, invalid fractions).
+func (s *System) LLC() cache.LLC { return s.llc }
+
+// Memory exposes the memory controller.
+func (s *System) Memory() *mem.Controller { return s.memctl }
+
+// step executes one access on core c.
+func (s *System) step(c *coreState) {
+	a := c.gen.Next()
+	c.now += uint64(a.NonMem) + 1
+	c.instr += a.Instructions()
+	c.refs++
+
+	if a.Kind == trace.Load {
+		if c.l1.Read(a.Addr).Hit {
+			return
+		}
+		data, lat := s.llcAccess(c, a.Addr, false)
+		s.l1Insert(c, a.Addr, data, false)
+		s.block(c, lat)
+		return
+	}
+	// Store: write-allocate into the L1.
+	if res := c.l1.Read(a.Addr); res.Hit {
+		mutated := append([]byte(nil), res.Data...)
+		c.memv.ApplyStore(mutated, a.Addr)
+		c.l1.Update(a.Addr, mutated, true)
+		return
+	}
+	data, lat := s.llcAccess(c, a.Addr, true)
+	mutated := append([]byte(nil), data...)
+	c.memv.ApplyStore(mutated, a.Addr)
+	s.l1Insert(c, a.Addr, mutated, true)
+	s.block(c, lat)
+}
+
+// block charges an L1-miss service latency to the core.
+func (s *System) block(c *coreState, lat uint64) {
+	c.now += lat
+	c.stall += lat
+	c.l1Misses++
+	if s.measuring {
+		c.missLats = append(c.missLats, uint32(lat))
+	}
+}
+
+// llcAccess services an L1 miss: LLC lookup, then memory on an LLC miss.
+// Non-inclusive LLCs do not allocate on store misses (§5.4.2); the line
+// arrives later as an L1 write-back.
+func (s *System) llcAccess(c *coreState, addr uint64, isStore bool) (data []byte, lat uint64) {
+	res := s.llc.Read(addr)
+	lat = uint64(s.cfg.LLCLatency) + uint64(res.ExtraCycles)
+	if res.Hit {
+		return res.Data, lat
+	}
+	data = c.memv.ReadLine(addr)
+	done := s.memctl.Read(c.now+lat, addr, s.transferBytes(data))
+	lat = done - c.now
+	if !isStore || s.cfg.Inclusive {
+		s.handleWBs(c, s.llc.Fill(addr, data))
+	}
+	return data, lat
+}
+
+// l1Insert fills the private L1, forwarding any dirty victim to the LLC
+// as a write-back.
+func (s *System) l1Insert(c *coreState, addr uint64, data []byte, dirty bool) {
+	wbs := c.l1.Fill(addr, data)
+	if dirty {
+		c.l1.Update(addr, data, true)
+	}
+	for _, wb := range wbs {
+		s.handleWBs(c, s.llc.WriteBack(wb.Addr, wb.Data))
+	}
+}
+
+// handleWBs sends LLC-evicted dirty lines to memory: backing-store update
+// plus write bandwidth.
+func (s *System) handleWBs(c *coreState, wbs []cache.Writeback) {
+	for _, wb := range wbs {
+		c.memv.WriteLine(wb.Addr, wb.Data)
+		s.memctl.Write(c.now, wb.Addr, s.transferBytes(wb.Data))
+	}
+}
+
+// transferBytes is the channel occupancy of moving one line: 64 bytes,
+// or the C-Pack-compressed size under link compression (never more than
+// the raw line; expanding lines go uncompressed).
+func (s *System) transferBytes(data []byte) int {
+	if !s.cfg.LinkCompression {
+		return cache.LineSize
+	}
+	n := (cpack.CompressedBits(data) + 7) / 8
+	if n > cache.LineSize {
+		n = cache.LineSize
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// run advances all cores (oldest first) until each reaches its
+// per-core instruction target.
+func (s *System) run() {
+	for {
+		var pick *coreState
+		for _, c := range s.cores {
+			if c.instr >= c.target {
+				continue
+			}
+			if pick == nil || c.now < pick.now {
+				pick = c
+			}
+		}
+		if pick == nil {
+			return
+		}
+		s.step(pick)
+		if s.measuring {
+			var total uint64
+			for _, c := range s.cores {
+				total += c.instr
+			}
+			// Ratio() walks the whole cache; only compute it when the
+			// sampler will actually record.
+			if s.ratio.Due(total - s.sampleAt) {
+				s.ratio.Tick(total-s.sampleAt, s.llc.Ratio())
+			}
+		}
+	}
+}
+
+// Run executes warmup then the measurement window and returns the result.
+func (s *System) Run() Result {
+	for _, c := range s.cores {
+		c.target = s.cfg.WarmupInstr
+	}
+	s.run()
+	// Snapshot counters so the measurement window reports deltas.
+	s.llcSnap = *s.llc.Stats()
+	s.memSnap = *s.memctl.Stats()
+	var sampleBase uint64
+	for _, c := range s.cores {
+		c.startCyc = c.now
+		c.startInst = c.instr
+		c.target = c.instr + s.cfg.MeasureInstr
+		c.refs = 0
+		c.l1Misses = 0
+		c.stall = 0
+		sampleBase += c.instr
+	}
+	s.sampleAt = sampleBase
+	s.measuring = true
+	s.run()
+	s.ratio.ForceSample(s.llc.Ratio())
+	return s.collect()
+}

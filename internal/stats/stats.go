@@ -1,0 +1,190 @@
+// Package stats provides the summary statistics used by the evaluation:
+// arithmetic and geometric means (the paper reports AMean and GMean rows),
+// fixed-bucket histograms (Figure 14's latency distribution), and a
+// periodic sampler (compression ratio is sampled every 10M instructions).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice.
+// Non-positive entries are clamped to a tiny positive value so that a
+// single zero (e.g. a 0% improvement) does not collapse the mean to zero;
+// this mirrors how architecture papers summarize ratio data.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 1e-12 {
+			x = 1e-12
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram is a fixed-bucket histogram over float64 samples. Bucket i
+// covers [Bounds[i-1], Bounds[i]); the first bucket is (-inf, Bounds[0])
+// and a final implicit overflow bucket covers [Bounds[len-1], +inf).
+type Histogram struct {
+	Bounds []float64 // ascending upper bounds
+	Counts []uint64  // len(Bounds)+1 buckets
+	N      uint64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.Bounds, x)
+	// SearchFloat64s returns the first bound >= x; with half-open buckets
+	// [lo, hi) a sample equal to a bound belongs to the next bucket.
+	if i < len(h.Bounds) && h.Bounds[i] == x {
+		i++
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// Fraction returns each bucket's share of all samples (empty histogram
+// returns all zeros).
+func (h *Histogram) Fraction() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.N == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.N)
+	}
+	return out
+}
+
+// Sampler accumulates a value that is sampled every Interval units of an
+// externally advanced clock (instructions, in the paper). The reported
+// value is the mean of all samples taken.
+type Sampler struct {
+	Interval uint64
+	next     uint64
+	sum      float64
+	n        uint64
+}
+
+// NewSampler returns a sampler that samples every interval ticks.
+func NewSampler(interval uint64) *Sampler {
+	if interval == 0 {
+		panic("stats: zero sampler interval")
+	}
+	return &Sampler{Interval: interval, next: interval}
+}
+
+// Due reports whether advancing the clock to now would take a sample.
+// Callers with expensive-to-compute values use it as a guard.
+func (s *Sampler) Due(now uint64) bool { return now >= s.next }
+
+// Tick advances the clock to now and records value once for every
+// interval boundary crossed.
+func (s *Sampler) Tick(now uint64, value float64) {
+	for now >= s.next {
+		s.sum += value
+		s.n++
+		s.next += s.Interval
+	}
+}
+
+// ForceSample records the value once regardless of the clock; used to
+// guarantee at least one sample for very short runs.
+func (s *Sampler) ForceSample(value float64) {
+	s.sum += value
+	s.n++
+}
+
+// Mean returns the mean of all samples, or 0 if none were taken.
+func (s *Sampler) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Count returns how many samples were taken.
+func (s *Sampler) Count() uint64 { return s.n }

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean of 1..4")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatalf("geomean(1,4) = %g", GeoMean([]float64{1, 4}))
+	}
+	if !almost(GeoMean([]float64{2, 2, 2}), 2) {
+		t.Fatal("geomean of constant")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean of empty")
+	}
+	// A zero must not collapse the mean to 0.
+	if GeoMean([]float64{0, 100}) <= 0 {
+		t.Fatal("geomean with zero entry collapsed")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %g/%g", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(Percentile(xs, 0), 1) || !almost(Percentile(xs, 100), 5) {
+		t.Fatal("extreme percentiles")
+	}
+	if !almost(Percentile(xs, 50), 3) {
+		t.Fatalf("median = %g", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 2) {
+		t.Fatalf("p25 = %g", Percentile(xs, 25))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	h.Add(5)   // bucket 0: (-inf,10)
+	h.Add(10)  // bucket 1: [10,20)
+	h.Add(15)  // bucket 1
+	h.Add(25)  // bucket 2
+	h.Add(30)  // bucket 3 (overflow)
+	h.Add(100) // bucket 3
+	want := []uint64{1, 2, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	fr := h.Fraction()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if !almost(sum, 1) {
+		t.Fatalf("fractions sum to %g", sum)
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	for _, f := range h.Fraction() {
+		if f != 0 {
+			t.Fatal("empty histogram fraction non-zero")
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(10)
+	s.Tick(5, 100) // no boundary crossed
+	if s.Count() != 0 {
+		t.Fatal("sampled before interval")
+	}
+	s.Tick(10, 2) // crosses 10
+	s.Tick(35, 4) // crosses 20, 30
+	if s.Count() != 3 {
+		t.Fatalf("count = %d, want 3", s.Count())
+	}
+	if !almost(s.Mean(), (2+4+4)/3.0) {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+}
+
+func TestSamplerForce(t *testing.T) {
+	s := NewSampler(1000)
+	s.ForceSample(7)
+	if !almost(s.Mean(), 7) {
+		t.Fatal("forced sample mean")
+	}
+}
+
+func TestSamplerZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	NewSampler(0)
+}
+
+func TestGeoMeanLeqMeanProperty(t *testing.T) {
+	// AM-GM inequality: GeoMean <= Mean for positive data.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		h := NewHistogram([]float64{-1, 0, 1})
+		for _, s := range samples {
+			if math.IsNaN(s) {
+				continue
+			}
+			h.Add(s)
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == h.N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerDue(t *testing.T) {
+	s := NewSampler(10)
+	if s.Due(5) {
+		t.Fatal("due before interval")
+	}
+	if !s.Due(10) {
+		t.Fatal("not due at boundary")
+	}
+	s.Tick(10, 1)
+	if s.Due(15) {
+		t.Fatal("due again before next boundary")
+	}
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"morc/internal/cache"
+	"morc/internal/rng"
+)
+
+// Memory is the value model and backing store for one workload: it
+// synthesizes deterministic line contents for never-written addresses
+// according to the profile, and remembers lines written back by the
+// cache hierarchy. It also applies store mutations, keeping write-back
+// data largely compressible (the paper observes write-back data
+// compresses comparably to fill data, §5.4.2).
+type Memory struct {
+	prof    Profile
+	written map[uint64][]byte
+	// pools hold the duplication chunks, instantiated lazily per address
+	// region: neighboring lines share a small vocabulary (which windowed
+	// inter-line compression can exploit), while the global vocabulary
+	// across regions is large (which bounds what a global frequency
+	// dictionary like SC2's can capture).
+	pools  map[poolKey][][]byte
+	fpPool [][]byte // 4-byte exponent-word pool for FP-like data (global)
+	storeR *rng.RNG
+
+	ReadLines  uint64 // lines synthesized or fetched
+	WriteLines uint64 // lines written back
+}
+
+type poolKey struct {
+	level  int
+	region uint64
+}
+
+// RegionBytes is the granularity of value-vocabulary locality.
+const RegionBytes = 128 * 1024
+
+// pool returns the lazily built chunk pool for (level, region). Pools are
+// hierarchical: most larger-granule entries are concatenations of two
+// entries one level down, mirroring the self-similarity of real data
+// (records made of fields, stencil blocks made of repeated values). This
+// keeps a region's 32-bit vocabulary small enough for windowed
+// dictionaries to cover.
+func (m *Memory) pool(level int, region uint64) [][]byte {
+	k := poolKey{level, region}
+	if p, ok := m.pools[k]; ok {
+		return p
+	}
+	r := rng.New(m.prof.Seed ^ mix(0x504f4f4c^uint64(level)<<40^region*2654435761))
+	p := make([][]byte, m.prof.PoolSizes[level])
+	if level == 3 {
+		for i := range p {
+			p[i] = m.genChunk(r, poolGran[level])
+		}
+	} else {
+		child := m.pool(level+1, region)
+		for i := range p {
+			if r.Bool(0.75) {
+				b := make([]byte, 0, poolGran[level])
+				b = append(b, child[r.Intn(len(child))]...)
+				b = append(b, child[r.Intn(len(child))]...)
+				p[i] = b
+			} else {
+				p[i] = m.genChunk(r, poolGran[level])
+			}
+		}
+	}
+	m.pools[k] = p
+	return p
+}
+
+// granBytes for pool level: 32, 16, 8, 4.
+var poolGran = [4]int{32, 16, 8, 4}
+
+// NewMemory builds the value model for a profile.
+func NewMemory(p Profile) *Memory {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Memory{
+		prof:    p,
+		written: make(map[uint64][]byte),
+		pools:   make(map[poolKey][][]byte),
+		storeR:  rng.New(p.Seed ^ 0x53544f5245), // "STORE"
+	}
+	poolR := rng.New(p.Seed ^ 0x504f4f4c) // "POOL"
+	m.fpPool = make([][]byte, 16)
+	for i := range m.fpPool {
+		b := make([]byte, 4)
+		// Double-precision high words: same sign/exponent neighborhood.
+		binary.LittleEndian.PutUint32(b, 0x3FE00000|uint32(poolR.Intn(1<<12)))
+		m.fpPool[i] = b
+	}
+	return m
+}
+
+// genChunk produces a pool chunk of g bytes following the word model.
+func (m *Memory) genChunk(r *rng.RNG, g int) []byte {
+	b := make([]byte, g)
+	for off := 0; off < g; off += 4 {
+		m.genWord(r, b[off:off+4], off/4)
+	}
+	return b
+}
+
+// genWord fills a 4-byte word: zero, narrow integer, FP-structured, or
+// random.
+func (m *Memory) genWord(r *rng.RNG, dst []byte, wordIdx int) {
+	switch {
+	case r.Bool(m.prof.ZeroWordFrac):
+		for i := range dst {
+			dst[i] = 0
+		}
+	case r.Bool(m.prof.NarrowFrac):
+		// Narrow integers: a frequent head (counters, flags, enum-like
+		// values a global frequency dictionary captures) plus a diverse
+		// tail (sizes, offsets, ids) that only significance-based codes
+		// like LBE's u8/u16 compress.
+		if r.Bool(0.4) {
+			binary.LittleEndian.PutUint32(dst, uint32(r.Geometric(0.05)))
+		} else {
+			binary.LittleEndian.PutUint32(dst, uint32(r.Geometric(0.002)))
+		}
+	case m.prof.FPLike && wordIdx%2 == 1 && r.Bool(0.7):
+		// High word of a little-endian double: clustered exponents.
+		copy(dst, m.fpPool[r.Intn(len(m.fpPool))])
+	default:
+		binary.LittleEndian.PutUint32(dst, r.Uint32())
+	}
+}
+
+// ReadLine returns the 64-byte line at addr (line-aligned internally).
+func (m *Memory) ReadLine(addr uint64) []byte {
+	la := cache.LineAddr(addr)
+	m.ReadLines++
+	if d, ok := m.written[la]; ok {
+		out := make([]byte, cache.LineSize)
+		copy(out, d)
+		return out
+	}
+	return m.synthLine(la)
+}
+
+// WriteLine records a line written back from the cache hierarchy.
+func (m *Memory) WriteLine(addr uint64, data []byte) {
+	if len(data) != cache.LineSize {
+		panic(fmt.Sprintf("trace: WriteLine of %d bytes", len(data)))
+	}
+	la := cache.LineAddr(addr)
+	m.WriteLines++
+	m.written[la] = append([]byte(nil), data...)
+}
+
+// synthLine deterministically generates the pristine contents of a line.
+func (m *Memory) synthLine(la uint64) []byte {
+	r := rng.New(m.prof.Seed ^ mix(la))
+	line := make([]byte, cache.LineSize)
+	if r.Bool(m.prof.ZeroLineFrac) {
+		return line
+	}
+	m.fillRegion(r, line, 0, la/RegionBytes)
+	return line
+}
+
+// fillRegion fills line[off:] hierarchically: at each granule boundary it
+// may draw the whole granule from that granularity's pool (inter-line
+// duplication) or recurse to smaller granules.
+func (m *Memory) fillRegion(r *rng.RNG, line []byte, off int, region uint64) {
+	for off < len(line) {
+		placed := false
+		for lvl := 0; lvl < 4; lvl++ {
+			g := poolGran[lvl]
+			if off%g != 0 || off+g > len(line) {
+				continue
+			}
+			if r.Bool(m.prof.GranWeights[lvl]) {
+				p := m.pool(lvl, region)
+				copy(line[off:off+g], p[r.Intn(len(p))])
+				off += g
+				placed = true
+				break
+			}
+			if g == 4 {
+				m.genWord(r, line[off:off+4], off/4)
+				off += 4
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Defensive: cannot happen (the 4-byte level always places).
+			panic("trace: fillRegion made no progress")
+		}
+	}
+}
+
+// ApplyStore mutates line (the current cached value of addr) in place to
+// reflect one store. Stores write an aligned 8-byte chunk — compressible
+// pool/narrow data with probability StoreComp, random bytes otherwise.
+func (m *Memory) ApplyStore(line []byte, addr uint64) {
+	if len(line) != cache.LineSize {
+		panic(fmt.Sprintf("trace: ApplyStore on %d bytes", len(line)))
+	}
+	off := int(m.storeR.Intn(cache.LineSize/8)) * 8
+	if m.storeR.Bool(m.prof.StoreComp) {
+		if m.storeR.Bool(0.5) {
+			p := m.pool(2, cache.LineAddr(addr)/RegionBytes)
+			copy(line[off:off+8], p[m.storeR.Intn(len(p))])
+		} else {
+			binary.LittleEndian.PutUint32(line[off:], uint32(m.storeR.Geometric(0.01)))
+			binary.LittleEndian.PutUint32(line[off+4:], 0)
+		}
+	} else {
+		binary.LittleEndian.PutUint64(line[off:], m.storeR.Uint64())
+	}
+}
+
+// WrittenLines returns how many distinct lines hold written-back data.
+func (m *Memory) WrittenLines() int { return len(m.written) }
+
+// mix is a 64-bit finalizer (splitmix64's) used to derive per-line seeds.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

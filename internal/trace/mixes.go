@@ -1,0 +1,80 @@
+package trace
+
+// MultiProgramMixes returns the paper's Table 6 multi-program workloads:
+// four randomly mixed 16-program sets (M0–M3) and eight same-program
+// sets (S0–S7), transcribed verbatim.
+func MultiProgramMixes() map[string][]string {
+	return map[string][]string{
+		"M0": {
+			"h264ref_2", "soplex", "hmmer_1", "bzip2", "gcc_8", "sjeng",
+			"perlbench_2", "hmmer", "sphinx3", "zeusmp", "gobmk_2",
+			"perlbench_1", "h264ref", "dealII", "gcc_5", "sjeng",
+		},
+		"M1": {
+			"gobmk_2", "gcc_2", "astar_1", "h264ref_2", "gobmk_1",
+			"h264ref_1", "bzip2_1", "gcc_1", "gobmk_4", "bzip2_5",
+			"h264ref_2", "gcc_4", "xalancbmk", "astar_1", "bzip2_5",
+			"bzip2_5",
+		},
+		"M2": {
+			"bzip2_2", "perlbench", "astar_1", "perlbench", "bzip2_5",
+			"sjeng", "omnetpp", "gcc_1", "bzip2", "h264ref", "gcc",
+			"gobmk_4", "perlbench_1", "omnetpp", "omnetpp", "gcc_7",
+		},
+		"M3": {
+			"hmmer_1", "sjeng", "bzip2_2", "mcf", "gcc_5", "bzip2_5",
+			"hmmer", "gcc_1", "perlbench_1", "gcc_4", "hmmer_1",
+			"astar_1", "astar", "astar", "gcc_5", "h264ref",
+		},
+		"S0": same("bwaves"), "S1": same("bzip2"), "S2": same("gcc"),
+		"S3": same("h264ref"), "S4": same("hmmer"), "S5": same("perlbench"),
+		"S6": same("sjeng"), "S7": same("soplex"),
+	}
+}
+
+// MixNames returns the mix identifiers in presentation order.
+func MixNames() []string {
+	return []string{"M0", "M1", "M2", "M3", "S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7"}
+}
+
+func same(name string) []string {
+	out := make([]string, 16)
+	for i := range out {
+		out[i] = name
+	}
+	return out
+}
+
+// MixPrograms resolves a mix entry list to per-core profiles. Replicated
+// programs in the same mix get distinct seeds per slot so the sixteen
+// copies are slightly out of phase, like the paper's asynchronous
+// threads (§5.2).
+func MixPrograms(mix []string) []Profile {
+	out := make([]Profile, len(mix))
+	for i, name := range mix {
+		p := MustGet(name)
+		p.Seed ^= mix64(uint64(i) + 0x5a5a)
+		out[i] = p
+	}
+	return out
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// MixProgramsSynced resolves a mix with identical seeds for identical
+// program names: replicated threads run perfectly in phase, modelling
+// the instruction-level thread synchronization (Execution Drafting) the
+// paper suggests can eliminate the asynchronism that hurts compression
+// on the same-program mixes (§5.2).
+func MixProgramsSynced(mix []string) []Profile {
+	out := make([]Profile, len(mix))
+	for i, name := range mix {
+		out[i] = MustGet(name)
+	}
+	return out
+}

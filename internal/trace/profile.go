@@ -1,0 +1,653 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Profile parameterizes one synthetic benchmark. See the package comment
+// for the modelling rationale.
+type Profile struct {
+	Name string
+	Seed uint64
+
+	// --- address behaviour ---
+	WorkingSet int64   // total footprint in bytes
+	HotSet     int64   // hot-region size in bytes
+	MemRefFrac float64 // memory references per instruction
+	StoreFrac  float64 // stores among memory references
+	// StoreSpread is the fraction of non-stack stores that target cold
+	// (stream / object-walk) data rather than the hot set. Most integer
+	// codes mutate hot structures (low spread); streaming FP kernels like
+	// lbm write their grids (high spread).
+	StoreSpread float64
+	// StackFrac is the fraction of references going to a small, L1-
+	// resident stack region. Stack references absorb the bulk of store
+	// traffic, which is why real LLCs see far fewer write-backs than a
+	// model without a stack would predict.
+	StackFrac float64
+	SeqFrac   float64 // sequential-stream references
+	HotFrac   float64 // hot-region references (rest: skewed random)
+	Streams   int     // concurrent sequential streams
+	SeqStride int64   // bytes between sequential references
+	// StreamBurst is the mean number of consecutive references served by
+	// one stream before switching (loop-nest behaviour); long bursts make
+	// miss streams address-sequential, which is what MORC's temporal tag
+	// compression exploits.
+	StreamBurst int
+	// Skew concentrates the random component near the start of the
+	// working set: offset = WS * u^Skew for uniform u. Skew 1 is uniform;
+	// larger values produce the reuse gradient real miss-rate curves have
+	// (so growing the effective cache size captures more of the
+	// footprint).
+	Skew float64
+	// ObjLines is the mean object size, in cache lines, of the random
+	// component: each random access starts a short sequential walk over
+	// one object (records, nodes, small arrays), so misses arrive in
+	// small address-sequential runs rather than as isolated lines.
+	ObjLines int
+
+	// --- value behaviour ---
+	ZeroLineFrac float64    // all-zero lines
+	ZeroWordFrac float64    // zero words within non-zero lines
+	GranWeights  [4]float64 // pool-draw probability at 32/16/8/4-byte granules
+	PoolSizes    [4]int     // pool entries at 32/16/8/4-byte granularity
+	NarrowFrac   float64    // small-integer words among the rest
+	FPLike       bool       // double-precision structure for random words
+	StoreComp    float64    // stores that write compressible values
+}
+
+// Validate sanity-checks a profile.
+func (p Profile) Validate() error {
+	if p.WorkingSet < 4096 || p.HotSet < 64 || p.HotSet > p.WorkingSet {
+		return fmt.Errorf("trace: %s: bad working/hot set %d/%d", p.Name, p.WorkingSet, p.HotSet)
+	}
+	if p.MemRefFrac <= 0 || p.MemRefFrac > 1 {
+		return fmt.Errorf("trace: %s: MemRefFrac %g", p.Name, p.MemRefFrac)
+	}
+	if p.SeqFrac < 0 || p.HotFrac < 0 || p.SeqFrac+p.HotFrac > 1 {
+		return fmt.Errorf("trace: %s: SeqFrac+HotFrac %g", p.Name, p.SeqFrac+p.HotFrac)
+	}
+	if p.StoreSpread < 0 || p.StoreSpread > 1 {
+		return fmt.Errorf("trace: %s: StoreSpread %g", p.Name, p.StoreSpread)
+	}
+	if p.StackFrac < 0 || p.StackFrac > 0.9 {
+		return fmt.Errorf("trace: %s: StackFrac %g", p.Name, p.StackFrac)
+	}
+	if p.Streams < 1 || p.SeqStride < 1 {
+		return fmt.Errorf("trace: %s: streams/stride %d/%d", p.Name, p.Streams, p.SeqStride)
+	}
+	if p.StreamBurst < 1 {
+		return fmt.Errorf("trace: %s: StreamBurst %d", p.Name, p.StreamBurst)
+	}
+	if p.Skew < 1 {
+		return fmt.Errorf("trace: %s: Skew %g must be >= 1", p.Name, p.Skew)
+	}
+	if p.ObjLines < 1 {
+		return fmt.Errorf("trace: %s: ObjLines %d", p.Name, p.ObjLines)
+	}
+	for i, n := range p.PoolSizes {
+		if n < 1 {
+			return fmt.Errorf("trace: %s: pool %d empty", p.Name, i)
+		}
+	}
+	return nil
+}
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// base builds a default profile that individual benchmarks tweak.
+func base(name string) Profile {
+	return Profile{
+		Name:         name,
+		WorkingSet:   2 * mb,
+		HotSet:       16 * kb,
+		MemRefFrac:   0.30,
+		StoreFrac:    0.25,
+		StoreSpread:  0.20,
+		StackFrac:    0.30,
+		SeqFrac:      0.45,
+		HotFrac:      0.35,
+		Streams:      4,
+		SeqStride:    8,
+		StreamBurst:  96,
+		Skew:         2.5,
+		ObjLines:     3,
+		GranWeights:  [4]float64{0.05, 0.05, 0.10, 0.20},
+		PoolSizes:    [4]int{64, 64, 128, 256},
+		NarrowFrac:   0.25,
+		StoreComp:    0.7,
+		ZeroLineFrac: 0.10,
+		ZeroWordFrac: 0.25,
+	}
+}
+
+// profiles returns the per-benchmark table. Comments note the behaviour
+// each parameter set is reproducing from the paper's figures.
+func profiles() map[string]Profile {
+	ps := map[string]Profile{}
+	add := func(p Profile) { ps[p.Name] = p }
+
+	// --- SPECint ---
+
+	p := base("astar") // path-finding: compressible maps, ~6x MORC (Fig 6a)
+	p.WorkingSet = 4 * mb
+	p.ZeroLineFrac = 0.55
+	p.GranWeights = [4]float64{0.20, 0.10, 0.10, 0.30}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.NarrowFrac = 0.45
+	p.HotFrac = 0.30
+	p.SeqFrac = 0.35
+	p.ZeroWordFrac = 0.55
+	p.Skew = 3.2
+	p.ObjLines = 8
+	p.StoreSpread = 0.10
+	p.StoreFrac = 0.10
+	add(p)
+
+	p = base("bzip2") // compressed payload data: nearly incompressible
+	p.WorkingSet = 3 * mb
+	p.ZeroLineFrac = 0.02
+	p.GranWeights = [4]float64{0, 0.01, 0.02, 0.06}
+	p.PoolSizes = [4]int{512, 512, 1024, 4096}
+	p.NarrowFrac = 0.15
+	p.HotFrac = 0.45
+	p.SeqFrac = 0.40
+	p.MemRefFrac = 0.28
+	p.ZeroWordFrac = 0.10
+	p.Skew = 1.8
+	p.StoreFrac = 0.15
+	add(p)
+
+	p = base("gcc") // compiler IR: zero-dominated (Fig 7), ~6x
+	p.WorkingSet = 4 * mb
+	p.ZeroLineFrac = 0.75
+	p.GranWeights = [4]float64{0.10, 0.10, 0.15, 0.25}
+	p.PoolSizes = [4]int{12, 20, 40, 80}
+	p.NarrowFrac = 0.50
+	p.SeqFrac = 0.30
+	p.HotFrac = 0.30
+	p.ZeroWordFrac = 0.65
+	p.Skew = 3.2
+	p.ObjLines = 8
+	p.StoreSpread = 0.10
+	p.StoreFrac = 0.10
+	add(p)
+
+	p = base("gobmk") // game tree: compute-bound, modest compressibility
+	p.WorkingSet = 512 * kb
+	p.HotSet = 16 * kb
+	p.MemRefFrac = 0.25
+	p.HotFrac = 0.55
+	p.SeqFrac = 0.25
+	p.ZeroLineFrac = 0.15
+	p.NarrowFrac = 0.30
+	p.ZeroWordFrac = 0.30
+	add(p)
+
+	p = base("h264ref") // video: narrow pixel values (u8/u16-heavy, Fig 7)
+	p.WorkingSet = 768 * kb
+	p.HotSet = 12 * kb
+	p.MemRefFrac = 0.30
+	p.HotFrac = 0.50
+	p.SeqFrac = 0.35
+	p.ZeroLineFrac = 0.08
+	p.GranWeights = [4]float64{0.02, 0.02, 0.05, 0.10}
+	p.NarrowFrac = 0.60
+	p.ZeroWordFrac = 0.20
+	add(p)
+
+	p = base("hmmer") // profile HMM: hot tables, narrow scores
+	p.WorkingSet = 384 * kb
+	p.HotSet = 12 * kb
+	p.MemRefFrac = 0.35
+	p.HotFrac = 0.60
+	p.SeqFrac = 0.25
+	p.ZeroLineFrac = 0.10
+	p.NarrowFrac = 0.45
+	p.ZeroWordFrac = 0.30
+	add(p)
+
+	p = base("mcf") // pointer chasing over a huge graph: bandwidth-bound
+	p.WorkingSet = 24 * mb
+	p.HotSet = 8 * kb
+	p.MemRefFrac = 0.35
+	p.SeqFrac = 0.10
+	p.HotFrac = 0.15
+	p.StoreFrac = 0.20
+	p.ZeroLineFrac = 0.20
+	p.GranWeights = [4]float64{0.05, 0.08, 0.30, 0.25}
+	p.PoolSizes = [4]int{16, 32, 48, 96}
+	p.NarrowFrac = 0.20
+	p.ZeroWordFrac = 0.35
+	p.Skew = 2.2
+	p.ObjLines = 2
+	p.StoreSpread = 0.35
+	add(p)
+
+	p = base("omnetpp") // discrete-event sim: heap of similar records, ~5.5x
+	p.WorkingSet = 8 * mb
+	p.HotSet = 16 * kb
+	p.MemRefFrac = 0.32
+	p.SeqFrac = 0.15
+	p.HotFrac = 0.25
+	p.ZeroLineFrac = 0.50
+	p.GranWeights = [4]float64{0.25, 0.10, 0.15, 0.25}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.NarrowFrac = 0.35
+	p.ZeroWordFrac = 0.50
+	p.Skew = 3.0
+	p.ObjLines = 8
+	p.StoreSpread = 0.10
+	p.StoreFrac = 0.10
+	add(p)
+
+	p = base("perlbench") // interpreter: moderate everything
+	p.WorkingSet = 1 * mb
+	p.HotSet = 16 * kb
+	p.MemRefFrac = 0.32
+	p.HotFrac = 0.50
+	p.SeqFrac = 0.25
+	p.ZeroLineFrac = 0.18
+	p.GranWeights = [4]float64{0.05, 0.08, 0.12, 0.20}
+	p.NarrowFrac = 0.30
+	p.ZeroWordFrac = 0.30
+	add(p)
+
+	p = base("sjeng") // chess: compute-bound, small footprint
+	p.WorkingSet = 640 * kb
+	p.HotSet = 14 * kb
+	p.MemRefFrac = 0.24
+	p.HotFrac = 0.55
+	p.SeqFrac = 0.20
+	p.ZeroLineFrac = 0.12
+	p.NarrowFrac = 0.30
+	p.ZeroWordFrac = 0.25
+	add(p)
+
+	p = base("xalancbmk") // XML transform: pointer-rich, medium BW
+	p.WorkingSet = 6 * mb
+	p.MemRefFrac = 0.33
+	p.SeqFrac = 0.30
+	p.HotFrac = 0.30
+	p.ZeroLineFrac = 0.35
+	p.GranWeights = [4]float64{0.30, 0.12, 0.20, 0.25}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.NarrowFrac = 0.35
+	p.ZeroWordFrac = 0.40
+	p.Skew = 2.8
+	p.ObjLines = 4
+	add(p)
+
+	// --- SPECfp ---
+
+	p = base("bwaves") // blast waves: huge streaming FP arrays
+	p.WorkingSet = 24 * mb
+	p.MemRefFrac = 0.38
+	p.SeqFrac = 0.70
+	p.HotFrac = 0.10
+	p.Streams = 6
+	p.ZeroLineFrac = 0.12
+	p.GranWeights = [4]float64{0.30, 0.10, 0.10, 0.40}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.NarrowFrac = 0.05
+	p.FPLike = true
+	p.ZeroWordFrac = 0.25
+	p.Skew = 1.5
+	p.StoreSpread = 0.50
+	p.StoreFrac = 0.18
+	add(p)
+
+	p = base("cactusADM") // Einstein equations: repeated stencil blocks (m256)
+	p.WorkingSet = 8 * mb
+	p.MemRefFrac = 0.34
+	p.SeqFrac = 0.60
+	p.HotFrac = 0.15
+	p.ZeroLineFrac = 0.08
+	p.GranWeights = [4]float64{0.55, 0.15, 0.08, 0.50}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.NarrowFrac = 0.05
+	p.FPLike = true
+	p.ZeroWordFrac = 0.30
+	p.Skew = 2.0
+	p.ObjLines = 4
+	p.StoreSpread = 0.30
+	p.StoreFrac = 0.10
+	add(p)
+
+	p = base("calculix") // FE solver: compute-leaning
+	p.WorkingSet = 768 * kb
+	p.HotSet = 12 * kb
+	p.MemRefFrac = 0.28
+	p.SeqFrac = 0.45
+	p.HotFrac = 0.35
+	p.ZeroLineFrac = 0.12
+	p.GranWeights = [4]float64{0.22, 0.10, 0.08, 0.20}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.25
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	add(p)
+
+	p = base("dealII") // adaptive FE: moderate
+	p.WorkingSet = 1536 * kb
+	p.MemRefFrac = 0.30
+	p.SeqFrac = 0.45
+	p.HotFrac = 0.30
+	p.ZeroLineFrac = 0.15
+	p.GranWeights = [4]float64{0.25, 0.10, 0.10, 0.20}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.28
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	add(p)
+
+	p = base("gamess") // quantum chemistry: compute-bound, m256-heavy data
+	p.WorkingSet = 256 * kb
+	p.HotSet = 12 * kb
+	p.MemRefFrac = 0.22
+	p.SeqFrac = 0.30
+	p.HotFrac = 0.60
+	p.ZeroLineFrac = 0.10
+	p.GranWeights = [4]float64{0.50, 0.15, 0.08, 0.50}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.30
+	p.ObjLines = 4
+	p.StoreFrac = 0.12
+	add(p)
+
+	p = base("GemsFDTD") // FDTD: streaming, large grids
+	p.WorkingSet = 16 * mb
+	p.MemRefFrac = 0.35
+	p.SeqFrac = 0.65
+	p.HotFrac = 0.10
+	p.Streams = 6
+	p.ZeroLineFrac = 0.18
+	p.GranWeights = [4]float64{0.30, 0.10, 0.08, 0.40}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.35
+	p.Skew = 1.8
+	p.StoreSpread = 0.50
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	add(p)
+
+	p = base("gromacs") // MD: compute-leaning
+	p.WorkingSet = 640 * kb
+	p.HotSet = 12 * kb
+	p.MemRefFrac = 0.26
+	p.SeqFrac = 0.40
+	p.HotFrac = 0.40
+	p.ZeroLineFrac = 0.08
+	p.GranWeights = [4]float64{0.20, 0.08, 0.08, 0.18}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.20
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	add(p)
+
+	p = base("lbm") // lattice Boltzmann: extreme streaming bandwidth
+	p.WorkingSet = 24 * mb
+	p.MemRefFrac = 0.36
+	p.SeqFrac = 0.80
+	p.HotFrac = 0.05
+	p.Streams = 8
+	p.StoreFrac = 0.25
+	p.ZeroLineFrac = 0.10
+	p.GranWeights = [4]float64{0.40, 0.12, 0.08, 0.45}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.25
+	p.Skew = 1.5
+	p.StoreSpread = 0.90
+	add(p)
+
+	p = base("leslie3d") // CFD: streaming with block duplication (m256)
+	p.WorkingSet = 12 * mb
+	p.MemRefFrac = 0.35
+	p.SeqFrac = 0.65
+	p.HotFrac = 0.10
+	p.ZeroLineFrac = 0.10
+	p.GranWeights = [4]float64{0.50, 0.14, 0.08, 0.50}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.30
+	p.Skew = 1.8
+	p.ObjLines = 4
+	p.StoreSpread = 0.45
+	p.StoreFrac = 0.12
+	add(p)
+
+	p = base("milc") // lattice QCD: random SU(3) matrices, low compress
+	p.WorkingSet = 16 * mb
+	p.MemRefFrac = 0.33
+	p.SeqFrac = 0.45
+	p.HotFrac = 0.10
+	p.ZeroLineFrac = 0.04
+	p.GranWeights = [4]float64{0.02, 0.02, 0.04, 0.06}
+	p.PoolSizes = [4]int{256, 256, 512, 1024}
+	p.NarrowFrac = 0.10
+	p.FPLike = true
+	p.ZeroWordFrac = 0.12
+	p.Skew = 1.5
+	p.StoreSpread = 0.40
+	p.StoreFrac = 0.18
+	add(p)
+
+	p = base("namd") // MD: compute-bound, low compress
+	p.WorkingSet = 512 * kb
+	p.HotSet = 14 * kb
+	p.MemRefFrac = 0.24
+	p.SeqFrac = 0.40
+	p.HotFrac = 0.45
+	p.ZeroLineFrac = 0.05
+	p.GranWeights = [4]float64{0.03, 0.03, 0.05, 0.08}
+	p.PoolSizes = [4]int{128, 128, 256, 512}
+	p.NarrowFrac = 0.06
+	p.FPLike = true
+	p.ZeroWordFrac = 0.10
+	add(p)
+
+	p = base("povray") // ray tracing: compute-bound, strong block dup (m256)
+	p.WorkingSet = 192 * kb
+	p.HotSet = 12 * kb
+	p.MemRefFrac = 0.20
+	p.SeqFrac = 0.25
+	p.HotFrac = 0.65
+	p.ZeroLineFrac = 0.10
+	p.GranWeights = [4]float64{0.55, 0.15, 0.08, 0.50}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.30
+	p.ObjLines = 4
+	p.StoreFrac = 0.10
+	p.StoreSpread = 0.10
+	add(p)
+
+	p = base("soplex") // LP solver: sparse matrices, zero-heavy, ~6x
+	p.WorkingSet = 12 * mb
+	p.MemRefFrac = 0.33
+	p.SeqFrac = 0.40
+	p.HotFrac = 0.15
+	p.ZeroLineFrac = 0.60
+	p.GranWeights = [4]float64{0.20, 0.10, 0.12, 0.25}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.NarrowFrac = 0.35
+	p.ZeroWordFrac = 0.60
+	p.Skew = 2.8
+	p.ObjLines = 8
+	p.StoreSpread = 0.10
+	p.StoreFrac = 0.10
+	add(p)
+
+	p = base("sphinx3") // speech: streaming acoustic models, medium BW
+	p.WorkingSet = 8 * mb
+	p.MemRefFrac = 0.32
+	p.SeqFrac = 0.55
+	p.HotFrac = 0.20
+	p.ZeroLineFrac = 0.12
+	p.GranWeights = [4]float64{0.22, 0.08, 0.10, 0.22}
+	p.NarrowFrac = 0.25
+	p.FPLike = true
+	p.ZeroWordFrac = 0.25
+	p.Skew = 2.2
+	p.StoreSpread = 0.30
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	add(p)
+
+	p = base("tonto") // quantum chemistry: compute-bound
+	p.WorkingSet = 320 * kb
+	p.HotSet = 12 * kb
+	p.MemRefFrac = 0.22
+	p.SeqFrac = 0.35
+	p.HotFrac = 0.55
+	p.ZeroLineFrac = 0.12
+	p.GranWeights = [4]float64{0.25, 0.10, 0.08, 0.20}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.25
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	add(p)
+
+	p = base("wrf") // weather: streaming grids, medium BW
+	p.WorkingSet = 6 * mb
+	p.MemRefFrac = 0.32
+	p.SeqFrac = 0.55
+	p.HotFrac = 0.20
+	p.ZeroLineFrac = 0.15
+	p.GranWeights = [4]float64{0.28, 0.10, 0.08, 0.40}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.32
+	p.Skew = 2.0
+	p.StoreSpread = 0.40
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	add(p)
+
+	p = base("zeusmp") // astrophysics CFD: zero-padded grids, ~6x
+	p.WorkingSet = 6 * mb
+	p.MemRefFrac = 0.32
+	p.SeqFrac = 0.55
+	p.HotFrac = 0.20
+	p.ZeroLineFrac = 0.65
+	p.GranWeights = [4]float64{0.20, 0.10, 0.10, 0.28}
+	p.PoolSizes = [4]int{10, 16, 24, 48}
+	p.FPLike = true
+	p.ZeroWordFrac = 0.55
+	p.Skew = 2.2
+	p.ObjLines = 6
+	p.StoreSpread = 0.40
+	p.StoreFrac = 0.12
+	add(p)
+
+	for name, pr := range ps {
+		pr.Seed = hashName(name)
+		ps[name] = pr
+		if err := pr.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	return ps
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Get resolves a workload name to its profile. Names with an input-
+// variant suffix ("gcc_3") reuse the base profile with a distinct seed
+// and small deterministic parameter jitter, standing in for the paper's
+// multiple reference inputs.
+func Get(name string) (Profile, error) {
+	ps := profiles()
+	if p, ok := ps[name]; ok {
+		return p, nil
+	}
+	i := strings.LastIndex(name, "_")
+	if i < 0 {
+		return Profile{}, fmt.Errorf("trace: unknown workload %q", name)
+	}
+	baseName, suffix := name[:i], name[i+1:]
+	variant, err := strconv.Atoi(suffix)
+	if err != nil || variant < 0 {
+		return Profile{}, fmt.Errorf("trace: unknown workload %q", name)
+	}
+	p, ok := ps[baseName]
+	if !ok {
+		return Profile{}, fmt.Errorf("trace: unknown workload %q", name)
+	}
+	p.Name = name
+	p.Seed = hashName(name)
+	// Deterministic jitter: different inputs stress slightly different
+	// footprints and compressibility.
+	j := float64((hashName(name)>>8)%41)/100 - 0.2 // [-0.20, +0.20]
+	p.WorkingSet = int64(float64(p.WorkingSet) * (1 + j))
+	if p.WorkingSet < 64*kb {
+		p.WorkingSet = 64 * kb
+	}
+	p.ZeroLineFrac *= 1 + j/2
+	if p.ZeroLineFrac > 0.9 {
+		p.ZeroLineFrac = 0.9
+	}
+	return p, nil
+}
+
+// MustGet is Get for known-good names (panics otherwise).
+func MustGet(name string) Profile {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// BaseBenchmarks returns the 28 base SPEC2006 names in the paper's
+// x-axis order (integer suite first, then floating point).
+func BaseBenchmarks() []string {
+	return []string{
+		"astar", "bzip2", "gcc", "gobmk", "h264ref", "hmmer", "mcf",
+		"omnetpp", "perlbench", "sjeng", "xalancbmk",
+		"bwaves", "cactusADM", "calculix", "dealII", "gamess", "GemsFDTD",
+		"gromacs", "lbm", "leslie3d", "milc", "namd", "povray", "soplex",
+		"sphinx3", "tonto", "wrf", "zeusmp",
+	}
+}
+
+// SingleProgramWorkloads returns the 54 single-program workloads of
+// Figure 6 (reference-input variants indicated by _N suffixes).
+func SingleProgramWorkloads() []string {
+	counts := map[string]int{
+		"astar": 2, "bzip2": 6, "gcc": 9, "gobmk": 5, "h264ref": 3,
+		"hmmer": 2, "mcf": 1, "omnetpp": 1, "perlbench": 3, "sjeng": 1,
+		"xalancbmk": 1,
+		"bwaves":    1, "cactusADM": 1, "calculix": 1, "dealII": 1,
+		"gamess": 3, "GemsFDTD": 1, "gromacs": 1, "lbm": 1, "leslie3d": 1,
+		"milc": 1, "namd": 1, "povray": 1, "soplex": 2, "sphinx3": 1,
+		"tonto": 1, "wrf": 1, "zeusmp": 1,
+	}
+	var out []string
+	for _, b := range BaseBenchmarks() {
+		n := counts[b]
+		out = append(out, b)
+		for v := 1; v < n; v++ {
+			out = append(out, fmt.Sprintf("%s_%d", b, v))
+		}
+	}
+	return out
+}
+
+// Names returns all base profile names, sorted.
+func Names() []string {
+	ps := profiles()
+	out := make([]string, 0, len(ps))
+	for n := range ps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"morc/internal/cache"
+	"morc/internal/compress/lbe"
+	"morc/internal/rng"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, n := range Names() {
+		p := MustGet(n)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestSingleProgramWorkloadCount(t *testing.T) {
+	ws := SingleProgramWorkloads()
+	if len(ws) != 54 {
+		t.Fatalf("%d single-program workloads, want 54 (Figure 6)", len(ws))
+	}
+	for _, w := range ws {
+		if _, err := Get(w); err != nil {
+			t.Fatalf("workload %s unresolvable: %v", w, err)
+		}
+	}
+}
+
+func TestVariantsDifferFromBase(t *testing.T) {
+	base := MustGet("gcc")
+	v := MustGet("gcc_3")
+	if v.Seed == base.Seed {
+		t.Fatal("variant has same seed")
+	}
+	if v.Name != "gcc_3" {
+		t.Fatalf("variant name %s", v.Name)
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	for _, n := range []string{"nosuch", "nosuch_1", "gcc_x"} {
+		if _, err := Get(n); err == nil {
+			t.Fatalf("Get(%q) succeeded", n)
+		}
+	}
+}
+
+func TestMixesResolve(t *testing.T) {
+	mixes := MultiProgramMixes()
+	if len(mixes) != 12 {
+		t.Fatalf("%d mixes, want 12", len(mixes))
+	}
+	for name, progs := range mixes {
+		if len(progs) != 16 {
+			t.Fatalf("%s has %d programs, want 16", name, len(progs))
+		}
+		ps := MixPrograms(progs)
+		seeds := map[uint64]bool{}
+		for _, p := range ps {
+			seeds[p.Seed] = true
+		}
+		// Same-program mixes must still get distinct per-slot seeds.
+		if len(seeds) != 16 {
+			t.Fatalf("%s: only %d distinct seeds", name, len(seeds))
+		}
+	}
+}
+
+func TestMemoryDeterministic(t *testing.T) {
+	p := MustGet("gcc")
+	m1, m2 := NewMemory(p), NewMemory(p)
+	for i := uint64(0); i < 100; i++ {
+		a := i * cache.LineSize
+		if !bytes.Equal(m1.ReadLine(a), m2.ReadLine(a)) {
+			t.Fatalf("line %d differs between identical memories", i)
+		}
+	}
+}
+
+func TestMemoryWriteReadBack(t *testing.T) {
+	m := NewMemory(MustGet("astar"))
+	d := make([]byte, cache.LineSize)
+	for i := range d {
+		d[i] = byte(i)
+	}
+	m.WriteLine(0x1040, d)
+	if !bytes.Equal(m.ReadLine(0x1040), d) {
+		t.Fatal("written line not returned")
+	}
+	if m.WrittenLines() != 1 {
+		t.Fatalf("written lines = %d", m.WrittenLines())
+	}
+	// Other lines unaffected.
+	if bytes.Equal(m.ReadLine(0x1080), d) {
+		t.Fatal("write leaked to neighbor")
+	}
+}
+
+func TestZeroLineFraction(t *testing.T) {
+	p := MustGet("gcc")
+	m := NewMemory(p)
+	zeros := 0
+	const n = 2000
+	zero := make([]byte, cache.LineSize)
+	for i := 0; i < n; i++ {
+		if bytes.Equal(m.ReadLine(uint64(i)*cache.LineSize), zero) {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / n
+	if frac < p.ZeroLineFrac-0.1 || frac > p.ZeroLineFrac+0.1 {
+		t.Fatalf("gcc zero-line fraction %.2f, profile says ~%.2f", frac, p.ZeroLineFrac)
+	}
+}
+
+func TestCompressibilityOrdering(t *testing.T) {
+	// gcc (zero-heavy) must compress much better than bzip2 (random)
+	// under LBE — the property all compression results build on.
+	ratio := func(name string) float64 {
+		m := NewMemory(MustGet(name))
+		enc := lbe.NewEncoder(lbe.DefaultConfig())
+		in := 0
+		for i := 0; i < 128; i++ {
+			line := m.ReadLine(uint64(i) * cache.LineSize)
+			enc.AppendCommit(line)
+			in += len(line)
+		}
+		return float64(in*8) / float64(enc.Bits())
+	}
+	gcc, bzip := ratio("gcc"), ratio("bzip2")
+	if gcc < 2*bzip {
+		t.Fatalf("gcc LBE ratio %.2f not far above bzip2 %.2f", gcc, bzip)
+	}
+	if bzip > 2.0 {
+		t.Fatalf("bzip2 ratio %.2f suspiciously high", bzip)
+	}
+}
+
+func TestFPWorkloadUsesLargeGranules(t *testing.T) {
+	m := NewMemory(MustGet("cactusADM"))
+	enc := lbe.NewEncoder(lbe.DefaultConfig())
+	for i := 0; i < 256; i++ {
+		enc.AppendCommit(m.ReadLine(uint64(i) * cache.LineSize))
+	}
+	st := enc.Stats()
+	if st[lbe.SymM256] == 0 {
+		t.Fatal("cactusADM produced no m256 symbols")
+	}
+}
+
+func TestApplyStoreMutates(t *testing.T) {
+	m := NewMemory(MustGet("astar"))
+	line := m.ReadLine(0)
+	orig := append([]byte(nil), line...)
+	changed := false
+	for i := 0; i < 10 && !changed; i++ {
+		m.ApplyStore(line, 0)
+		changed = !bytes.Equal(line, orig)
+	}
+	if !changed {
+		t.Fatal("ApplyStore never mutated the line")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p := MustGet("omnetpp")
+	g1, g2 := NewSynthGen(p), NewSynthGen(p)
+	for i := 0; i < 1000; i++ {
+		a1, a2 := g1.Next(), g2.Next()
+		if a1 != a2 {
+			t.Fatalf("access %d differs: %+v vs %+v", i, a1, a2)
+		}
+	}
+}
+
+func TestGeneratorRespectsWorkingSet(t *testing.T) {
+	p := MustGet("hmmer")
+	g := NewSynthGen(p)
+	lo, hi := g.base, g.base+uint64(p.WorkingSet)+stackBytes
+	for i := 0; i < 5000; i++ {
+		a := g.Next()
+		if a.Addr < lo || a.Addr >= hi {
+			t.Fatalf("access %#x outside working set+stack [%#x,%#x)", a.Addr, lo, hi)
+		}
+		if a.Addr%8 != 0 {
+			t.Fatalf("unaligned access %#x", a.Addr)
+		}
+	}
+}
+
+func TestStoreFractionApproximate(t *testing.T) {
+	for _, name := range []string{"lbm", "gcc", "povray"} {
+		p := MustGet(name)
+		g := NewSynthGen(p)
+		stores := 0
+		const n = 40000
+		for i := 0; i < n; i++ {
+			if g.Next().Kind == Store {
+				stores++
+			}
+		}
+		frac := float64(stores) / n
+		if frac < p.StoreFrac*0.75 || frac > p.StoreFrac*1.25 {
+			t.Fatalf("%s store fraction %.3f, profile %.3f", name, frac, p.StoreFrac)
+		}
+	}
+}
+
+func TestMemRefDensity(t *testing.T) {
+	p := MustGet("gcc")
+	g := NewSynthGen(p)
+	var instr, refs uint64
+	for i := 0; i < 20000; i++ {
+		a := g.Next()
+		instr += a.Instructions()
+		refs++
+	}
+	density := float64(refs) / float64(instr)
+	if density < p.MemRefFrac*0.9 || density > p.MemRefFrac*1.1 {
+		t.Fatalf("memory-reference density %.3f, profile %.3f", density, p.MemRefFrac)
+	}
+}
+
+func TestHotSetConcentration(t *testing.T) {
+	p := MustGet("povray")
+	g := NewSynthGen(p)
+	inHot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a.Addr >= g.hotBase && a.Addr < g.hotBase+uint64(p.HotSet) {
+			inHot++
+		}
+	}
+	want := p.HotFrac * (1 - p.StackFrac)
+	if frac := float64(inHot) / n; frac < want*0.85 {
+		t.Fatalf("hot-set fraction %.2f, want ~%.2f", frac, want)
+	}
+}
+
+func TestDistinctSeedsProduceDistinctStreams(t *testing.T) {
+	p1, p2 := MustGet("gcc"), MustGet("gcc_1")
+	g1, g2 := NewSynthGen(p1), NewSynthGen(p2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if g1.Next().Addr == g2.Next().Addr {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("variant stream replays base stream (%d/100 same)", same)
+	}
+}
+
+func TestWorkloadBandwidthOrdering(t *testing.T) {
+	// Sanity on the address model: mcf's working set dwarfs povray's, so
+	// a tiny direct-mapped filter cache sees far more misses on mcf.
+	missRate := func(name string) float64 {
+		p := MustGet(name)
+		g := NewSynthGen(p)
+		c := cache.NewSetAssoc(128*1024, 8, cache.LRU)
+		misses := 0
+		const n = 30000
+		zero := make([]byte, cache.LineSize)
+		for i := 0; i < n; i++ {
+			a := g.Next()
+			if !c.Read(a.Addr).Hit {
+				misses++
+				c.Fill(a.Addr, zero)
+			}
+		}
+		return float64(misses) / n
+	}
+	if missRate("mcf") < 2*missRate("povray") {
+		t.Fatal("mcf not more memory-bound than povray")
+	}
+}
+
+func TestProfilesCoverAllFig6Bases(t *testing.T) {
+	bases := BaseBenchmarks()
+	if len(bases) != 28 {
+		t.Fatalf("%d base benchmarks, want 28", len(bases))
+	}
+	seen := map[string]bool{}
+	for _, b := range bases {
+		if seen[b] {
+			t.Fatalf("duplicate base %s", b)
+		}
+		seen[b] = true
+		MustGet(b)
+	}
+}
+
+func TestSynthLineStableAcrossReads(t *testing.T) {
+	m := NewMemory(MustGet("wrf"))
+	r := rng.New(1)
+	for i := 0; i < 50; i++ {
+		a := uint64(r.Intn(1000)) * cache.LineSize
+		if !bytes.Equal(m.ReadLine(a), m.ReadLine(a)) {
+			t.Fatal("synthesized line unstable")
+		}
+	}
+}
