@@ -5,6 +5,8 @@
 //	morcbench -exp fig6            # one experiment
 //	morcbench -exp all -quick      # everything, calibration budget
 //	morcbench -exp fig2,fig7 -workloads gcc,bzip2
+//	morcbench -exp fig6 -schemes Uncompressed,MORC
+//	morcbench -exp fig6 -json      # machine-readable tables (morcd's encoding)
 //	morcbench -list                # show experiment ids
 //
 // Output is aligned text tables, one per figure panel, written to stdout
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"morc/internal/exp"
+	"morc/internal/sim"
 )
 
 func main() {
@@ -28,8 +31,10 @@ func main() {
 		quick     = flag.Bool("quick", false, "use the fast calibration budget")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: each experiment's paper set)")
+		schemes   = flag.String("schemes", "", "comma-separated scheme subset (default: each experiment's paper set)")
 		out       = flag.String("out", "", "write output to this file instead of stdout")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut   = flag.Bool("json", false, "emit one JSON array of tables (the same encoding morcd serves)")
 		warmup    = flag.Uint64("warmup", 0, "override warmup instructions per core")
 		measure   = flag.Uint64("measure", 0, "override measured instructions per core")
 	)
@@ -56,6 +61,16 @@ func main() {
 	if *workloads != "" {
 		budget.Workloads = strings.Split(*workloads, ",")
 	}
+	if *schemes != "" {
+		for _, name := range strings.Split(*schemes, ",") {
+			sch, err := sim.ParseScheme(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "morcbench:", err)
+				os.Exit(1)
+			}
+			budget.Schemes = append(budget.Schemes, sch)
+		}
+	}
 
 	var ids []string
 	if *expFlag == "all" {
@@ -75,6 +90,7 @@ func main() {
 		w = f
 	}
 
+	var jsonTables []*exp.Table
 	for _, id := range ids {
 		e, ok := exp.Get(strings.TrimSpace(id))
 		if !ok {
@@ -84,17 +100,26 @@ func main() {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s: %s...\n", e.ID, e.Title)
 		for _, t := range e.Run(budget) {
-			if *csv {
+			switch {
+			case *jsonOut:
+				jsonTables = append(jsonTables, t)
+			case *csv:
 				fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title)
 				if err := t.WriteCSV(w); err != nil {
 					fmt.Fprintln(os.Stderr, "morcbench:", err)
 					os.Exit(1)
 				}
 				fmt.Fprintln(w)
-			} else {
+			default:
 				t.Render(w)
 			}
 		}
 		fmt.Fprintf(os.Stderr, "  %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		if err := exp.WriteTablesJSON(w, jsonTables); err != nil {
+			fmt.Fprintln(os.Stderr, "morcbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,132 @@
+// Command morcd serves the simulator as an HTTP job service, and doubles
+// as a client for submitting work to a running instance.
+//
+// Serve (default):
+//
+//	morcd -addr :8077 -workers 8 -queue 64 -drain 30s
+//
+// Submit and wait for a job from the CLI:
+//
+//	morcd -submit -server http://localhost:8077 -workload gcc -scheme MORC -wait
+//	morcd -submit -server http://localhost:8077 -mix M0 -scheme SC2 -budget full
+//	morcd -submit -server http://localhost:8077 -exp fig6 -wait
+//	morcd -submit -server http://localhost:8077 -cancel j000001
+//
+// The serve mode shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops, queued and in-flight jobs drain for up to -drain, then anything
+// still running is cancelled.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"morc/internal/server"
+	"morc/internal/server/client"
+	"morc/internal/sim"
+)
+
+func main() {
+	var (
+		// serve flags
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (default NumCPU)")
+		queue   = flag.Int("queue", 64, "bounded queue depth")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+
+		// submit-mode flags
+		submit    = flag.Bool("submit", false, "submit a job to a running morcd instead of serving")
+		serverURL = flag.String("server", "http://localhost:8077", "morcd base URL (submit mode)")
+		workload  = flag.String("workload", "", "single-program workload to submit")
+		mix       = flag.String("mix", "", "Table 6 mix to submit")
+		expID     = flag.String("exp", "", "experiment id to submit (see morcbench -list)")
+		scheme    = flag.String("scheme", "MORC", "LLC scheme for workload/mix jobs")
+		budget    = flag.String("budget", "quick", "simulation budget: quick|full")
+		wait      = flag.Bool("wait", false, "poll until the job finishes and print the final view")
+		cancelID  = flag.String("cancel", "", "cancel the given job id instead of submitting")
+	)
+	flag.Parse()
+
+	if *submit || *cancelID != "" {
+		if err := runClient(*serverURL, *workload, *mix, *expID, *scheme, *budget, *cancelID, *wait); err != nil {
+			fmt.Fprintln(os.Stderr, "morcd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := server.New(server.Config{Workers: *workers, QueueDepth: *queue})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "morcd: serving on %s (%d workers, queue %d)\n",
+		*addr, srv.Workers(), *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "morcd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "morcd: %v, draining for up to %v...\n", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "morcd: drain deadline hit; cancelled remaining jobs")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "morcd: all jobs drained")
+}
+
+// runClient implements -submit / -cancel against a running server.
+func runClient(baseURL, workload, mix, expID, scheme, budget, cancelID string, wait bool) error {
+	c := client.New(baseURL)
+	ctx := context.Background()
+
+	if cancelID != "" {
+		v, err := c.Cancel(ctx, cancelID)
+		if err != nil {
+			return err
+		}
+		return printJSON(v)
+	}
+
+	spec := server.JobSpec{Workload: workload, Mix: mix, Experiment: expID, Budget: budget}
+	if workload != "" || mix != "" {
+		sch, err := sim.ParseScheme(scheme)
+		if err != nil {
+			return err
+		}
+		spec.Scheme = sch
+	}
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !wait {
+		return printJSON(v)
+	}
+	v, err = c.Wait(ctx, v.ID, 250*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	return printJSON(v)
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -6,9 +6,11 @@
 //	morcsim -workload gcc -scheme MORC
 //	morcsim -mix M0 -scheme SC2 -bw 1600e6
 //	morcsim -workload astar -scheme MORC -logsize 1024 -activelogs 16
+//	morcsim -workload gcc -scheme MORC -json   # same Result JSON as morcd
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,21 +21,21 @@ import (
 	"morc/internal/trace"
 )
 
-func parseScheme(s string) (sim.Scheme, error) {
-	for _, sch := range []sim.Scheme{sim.Uncompressed, sim.Uncompressed8x,
-		sim.Adaptive, sim.Decoupled, sim.SC2, sim.MORC, sim.MORCMerged} {
-		if strings.EqualFold(sch.String(), s) {
-			return sch, nil
-		}
+// schemeNames is the -scheme help text, generated from the canonical
+// list so it can never drift from what the simulator implements.
+func schemeNames() string {
+	var names []string
+	for _, sch := range sim.AllSchemes() {
+		names = append(names, sch.String())
 	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
+	return strings.Join(names, "|")
 }
 
 func main() {
 	var (
 		workload   = flag.String("workload", "gcc", "single-program workload name (see morctrace -list)")
 		mix        = flag.String("mix", "", "Table 6 mix name (M0-M3, S0-S7); overrides -workload")
-		scheme     = flag.String("scheme", "MORC", "Uncompressed|Uncompressed8x|Adaptive|Decoupled|SC2|MORC|MORCMerged")
+		scheme     = flag.String("scheme", "MORC", schemeNames())
 		bw         = flag.Float64("bw", 100e6, "off-chip bandwidth per core (bytes/sec)")
 		llcKB      = flag.Int("llc", 128, "LLC capacity per core (KB)")
 		warmup     = flag.Uint64("warmup", 1_500_000, "warmup instructions per core")
@@ -41,10 +43,11 @@ func main() {
 		logSize    = flag.Int("logsize", 0, "MORC log size override (bytes)")
 		activeLogs = flag.Int("activelogs", 0, "MORC active log count override")
 		inclusive  = flag.Bool("inclusive", false, "insert fetched lines on store misses too")
+		jsonOut    = flag.Bool("json", false, "emit the Result as JSON (the same encoding morcd serves)")
 	)
 	flag.Parse()
 
-	sch, err := parseScheme(*scheme)
+	sch, err := sim.ParseScheme(*scheme)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "morcsim:", err)
 		os.Exit(1)
@@ -79,6 +82,16 @@ func main() {
 		}
 		label = *workload
 		res = sim.RunSingle(*workload, cfg)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "morcsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("%s on %s (%dKB/core LLC, %.3g MB/s per core)\n",

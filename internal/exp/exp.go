@@ -9,12 +9,15 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+
+	"morc/internal/sim"
 )
 
 // Budget sets the simulation window. The paper runs 100M+30M instructions
@@ -27,6 +30,31 @@ type Budget struct {
 	// Workloads optionally restricts single-program experiments (nil =
 	// the experiment's full paper set).
 	Workloads []string
+	// Schemes optionally restricts an experiment's scheme series to the
+	// listed organizations (nil = the experiment's full paper set).
+	// Schemes an experiment does not compare are ignored.
+	Schemes []sim.Scheme
+}
+
+// restrictSchemes intersects an experiment's scheme series with the
+// budget's Schemes filter, preserving the experiment's order.
+func (b Budget) restrictSchemes(schemes []sim.Scheme) []sim.Scheme {
+	if b.Schemes == nil {
+		return schemes
+	}
+	var out []sim.Scheme
+	for _, s := range schemes {
+		for _, want := range b.Schemes {
+			if s == want {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return schemes // filter excluded everything; keep the paper set
+	}
+	return out
 }
 
 // Quick is the fast calibration budget.
@@ -37,16 +65,16 @@ func Full() Budget { return Budget{Warmup: 1_500_000, Measure: 2_000_000, Sample
 
 // Table is a rendered experiment result.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string // first column is the row label
-	Rows    []RowData
+	ID      string    `json:"id"`
+	Title   string    `json:"title"`
+	Columns []string  `json:"columns"` // first column is the row label
+	Rows    []RowData `json:"rows"`
 }
 
 // RowData is one table row.
 type RowData struct {
-	Label  string
-	Values []float64
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
 }
 
 // AddRow appends a row; the number of values must match Columns[1:].
@@ -182,6 +210,23 @@ func pct(x, base float64) float64 {
 		return 0
 	}
 	return (x/base - 1) * 100
+}
+
+// WriteJSON emits the table as one indented JSON object. This is the
+// machine-readable encoding morcd returns for experiment jobs; morcbench
+// -json emits the same bytes so CLI and service output are
+// interchangeable for downstream tooling.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// WriteTablesJSON emits a slice of tables as one indented JSON array.
+func WriteTablesJSON(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }
 
 // WriteCSV emits the table as CSV (for plotting pipelines).

@@ -50,7 +50,7 @@ func runFig6(b Budget) []*Table {
 	if workloads == nil {
 		workloads = trace.SingleProgramWorkloads()
 	}
-	schemes := fig6Schemes()
+	schemes := b.restrictSchemes(fig6Schemes())
 	results := runSingleSet(b, workloads, schemes, nil)
 
 	cols := []string{"workload"}

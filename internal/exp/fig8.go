@@ -18,7 +18,7 @@ func init() {
 // with a shared LLC and 1600MB/s of shared bandwidth.
 func runFig8(b Budget) []*Table {
 	mixes := trace.MixNames()
-	schemes := fig6Schemes()
+	schemes := b.restrictSchemes(fig6Schemes())
 
 	results := make([][]sim.Result, len(mixes))
 	type job struct{ mi, si int }

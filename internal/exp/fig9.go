@@ -29,7 +29,7 @@ func runFig9(b Budget) []*Table {
 	if workloads == nil {
 		workloads = trace.BaseBenchmarks()
 	}
-	schemes := fig9Schemes()
+	schemes := b.restrictSchemes(fig9Schemes())
 	results := runSingleSet(b, workloads, schemes, nil)
 
 	cols := []string{"workload"}

@@ -1,0 +1,198 @@
+// Package client is the typed Go client for morcd, the simulation job
+// server. It wraps the JSON API of morc/internal/server with timeouts,
+// retry-with-backoff on transient failures, and a poll-until-terminal
+// helper, so Go callers (and morcd -submit) never hand-roll HTTP.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"morc/internal/server"
+)
+
+// Client talks to one morcd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8077".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s request timeout.
+	HTTPClient *http.Client
+	// Retries is the number of attempts beyond the first for transient
+	// failures: network errors, 429 (queue full), and 5xx. Default 3.
+	Retries int
+	// Backoff is the initial retry delay, doubling per attempt.
+	// Default 200ms.
+	Backoff time.Duration
+}
+
+// New returns a Client with the default timeout and retry policy.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		Retries:    3,
+		Backoff:    200 * time.Millisecond,
+	}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("morcd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// transient reports whether the failure is worth retrying: queue-full
+// backpressure and server-side errors are; 4xx spec errors are not.
+func transient(err error) bool {
+	if apiErr, ok := err.(*APIError); ok {
+		return apiErr.StatusCode == http.StatusTooManyRequests ||
+			apiErr.StatusCode >= 500
+	}
+	return err != nil // network-level failure
+}
+
+// do performs one HTTP round-trip with the retry policy, decoding a JSON
+// response into out (if non-nil). body is re-marshalled per attempt.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	retries := c.Retries
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.once(ctx, method, path, body, out)
+		if err == nil || !transient(err) || attempt >= retries {
+			return err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := http.StatusText(resp.StatusCode)
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit enqueues a job and returns its initial view (status "queued").
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (server.JobView, error) {
+	var v server.JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &v)
+	return v, err
+}
+
+// Job fetches a job's current status/result.
+func (c *Client) Job(ctx context.Context, id string) (server.JobView, error) {
+	var v server.JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Jobs lists every job the server knows about.
+func (c *Client) Jobs(ctx context.Context) ([]server.JobView, error) {
+	var out struct {
+		Jobs []server.JobView `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// Cancel requests cancellation and returns the job's view.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobView, error) {
+	var v server.JobView
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Wait polls the job every interval until it reaches a terminal state or
+// ctx is done. Poll errors are transient by construction (do retries),
+// so a failed poll aborts the wait.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (server.JobView, error) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return v, err
+		}
+		if v.Status.Terminal() {
+			return v, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return v, ctx.Err()
+		}
+	}
+}
+
+// Schemes lists the LLC organizations the server can simulate.
+func (c *Client) Schemes(ctx context.Context) ([]string, error) {
+	var out struct {
+		Schemes []string `json:"schemes"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/schemes", nil, &out)
+	return out.Schemes, err
+}
+
+// Catalog lists the workloads, mixes, and experiments the server can run.
+func (c *Client) Catalog(ctx context.Context) (server.Catalog, error) {
+	var out server.Catalog
+	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &out)
+	return out, err
+}

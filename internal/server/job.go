@@ -1,0 +1,302 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"morc/internal/exp"
+	"morc/internal/sim"
+	"morc/internal/trace"
+)
+
+// Status is a job's lifecycle state. Transitions:
+//
+//	queued → running → done | failed | cancelled
+//	queued → cancelled              (cancelled before a worker picked it up)
+//
+// Terminal states are done, failed, and cancelled; a terminal job never
+// changes again.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// JobSpec describes one unit of work: exactly one of Workload (a
+// single-program run), Mix (a Table 6 multi-program run), or Experiment
+// (a whole figure/table reproduction) must be set.
+type JobSpec struct {
+	Workload   string `json:"workload,omitempty"`
+	Mix        string `json:"mix,omitempty"`
+	Experiment string `json:"experiment,omitempty"`
+
+	// Scheme selects the LLC organization for workload/mix jobs
+	// (default Uncompressed; experiments run their paper scheme sets,
+	// optionally restricted by Schemes).
+	Scheme sim.Scheme `json:"scheme"`
+
+	// Budget selects the simulation window: "quick" (default) or "full",
+	// mirroring morcbench. Warmup/measure can be fine-tuned via Config.
+	Budget string `json:"budget,omitempty"`
+
+	// Workloads/Schemes restrict experiment jobs, like morcbench's
+	// -workloads and -schemes flags.
+	Workloads []string     `json:"workloads,omitempty"`
+	Schemes   []sim.Scheme `json:"schemes,omitempty"`
+
+	// Config holds sim.Config field overrides (JSON object, same field
+	// names as sim.Config) applied on top of the defaults and budget —
+	// e.g. {"BWPerCore": 1.6e9, "MeasureInstr": 500000}. Only provided
+	// fields override; everything else keeps its default.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// Validate checks the spec against the catalog of runnable work.
+func (sp JobSpec) Validate() error {
+	set := 0
+	for _, s := range []string{sp.Workload, sp.Mix, sp.Experiment} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("exactly one of workload, mix, or experiment must be set")
+	}
+	switch {
+	case sp.Workload != "":
+		if _, err := trace.Get(sp.Workload); err != nil {
+			return err
+		}
+	case sp.Mix != "":
+		if _, ok := trace.MultiProgramMixes()[sp.Mix]; !ok {
+			return fmt.Errorf("unknown mix %q", sp.Mix)
+		}
+	case sp.Experiment != "":
+		if _, ok := exp.Get(sp.Experiment); !ok {
+			return fmt.Errorf("unknown experiment %q", sp.Experiment)
+		}
+	}
+	switch sp.Budget {
+	case "", "quick", "full":
+	default:
+		return fmt.Errorf("unknown budget %q (want quick or full)", sp.Budget)
+	}
+	if len(sp.Config) > 0 {
+		cfg := sim.DefaultConfig()
+		if err := strictUnmarshal(sp.Config, &cfg); err != nil {
+			return fmt.Errorf("bad config overrides: %w", err)
+		}
+	}
+	return nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so typos in
+// config overrides fail at submit time instead of silently running the
+// default configuration.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// budget resolves the spec's budget name.
+func (sp JobSpec) budget() exp.Budget {
+	b := exp.Quick()
+	if sp.Budget == "full" {
+		b = exp.Full()
+	}
+	b.Workloads = sp.Workloads
+	b.Schemes = sp.Schemes
+	return b
+}
+
+// simConfig builds the effective sim.Config for a workload/mix job:
+// defaults, then the budget window, then the raw overrides.
+func (sp JobSpec) simConfig() (sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	b := sp.budget()
+	cfg.WarmupInstr = b.Warmup
+	cfg.MeasureInstr = b.Measure
+	cfg.SampleEvery = b.SampleEvery
+	cfg.Scheme = sp.Scheme
+	if len(sp.Config) > 0 {
+		if err := strictUnmarshal(sp.Config, &cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// Job is one tracked unit of work. All mutable state is guarded by mu;
+// done is closed exactly once when the job reaches a terminal state.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu       sync.Mutex
+	status   Status
+	progress float64
+	result   *sim.Result
+	tables   []*exp.Table
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	done chan struct{}
+}
+
+func newJob(id string, spec JobSpec) *Job {
+	return &Job{
+		ID:      id,
+		Spec:    spec,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// setProgress records fractional completion (workload/mix jobs only).
+func (j *Job) setProgress(done, total uint64) {
+	if total == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.progress = float64(done) / float64(total)
+	j.mu.Unlock()
+}
+
+// start transitions queued → running, attaching the cancel func. Returns
+// false if the job was cancelled while queued.
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish transitions running → terminal. No-op if already terminal.
+func (j *Job) finish(st Status, res *sim.Result, tables []*exp.Table, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.status = st
+	j.result = res
+	j.tables = tables
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	if st == StatusDone {
+		j.progress = 1
+	}
+	close(j.done)
+}
+
+// requestCancel asks the job to stop. A queued job is cancelled
+// immediately (the worker will skip it); a running job has its context
+// cancelled and reaches the cancelled state when the simulator notices.
+// fromQueue reports whether this call itself finished the job (so the
+// caller, not a worker, must account for it); ok is false if the job was
+// already terminal.
+func (j *Job) requestCancel() (fromQueue, ok bool) {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return false, false
+	}
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		return true, true
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return false, true
+}
+
+// JobView is the JSON representation served by GET /v1/jobs/{id}.
+type JobView struct {
+	ID       string  `json:"id"`
+	Status   Status  `json:"status"`
+	Spec     JobSpec `json:"spec"`
+	Progress float64 `json:"progress"`
+	Error    string  `json:"error,omitempty"`
+
+	// Result is set for finished workload/mix jobs, Tables for finished
+	// experiment jobs.
+	Result *sim.Result  `json:"result,omitempty"`
+	Tables []*exp.Table `json:"tables,omitempty"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// DurationSec is wall time from start to finish (or to now while
+	// running).
+	DurationSec float64 `json:"duration_sec,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.ID,
+		Status:    j.status,
+		Spec:      j.Spec,
+		Progress:  j.progress,
+		Error:     j.errMsg,
+		Result:    j.result,
+		Tables:    j.tables,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.DurationSec = end.Sub(j.started).Seconds()
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}

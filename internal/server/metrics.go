@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// durationBuckets are the wall-time histogram bounds in seconds. Quick
+// single-program runs land around 0.1-1s; full mixes and whole-figure
+// experiments run minutes.
+var durationBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+// histogram is a fixed-bucket Prometheus-style histogram.
+type histogram struct {
+	counts []uint64 // one per bucket bound; +Inf is implicit via count
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(durationBuckets))
+	}
+	for i, bound := range durationBuckets {
+		if v <= bound {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+// metrics aggregates server counters for the /metrics endpoint.
+type metrics struct {
+	mu          sync.Mutex
+	submitted   uint64
+	rejected    uint64
+	done        uint64
+	failed      uint64
+	cancelled   uint64
+	workersBusy int
+	byScheme    map[string]*histogram // job wall time by scheme label
+}
+
+func newMetrics() *metrics {
+	return &metrics{byScheme: map[string]*histogram{}}
+}
+
+func (m *metrics) jobSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) jobRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+
+func (m *metrics) workerBusy(delta int) {
+	m.mu.Lock()
+	m.workersBusy += delta
+	m.mu.Unlock()
+}
+
+// jobFinished records a terminal transition and, for jobs that actually
+// ran, the wall time under the scheme label ("exp:<id>" for experiments).
+func (m *metrics) jobFinished(st Status, scheme string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch st {
+	case StatusDone:
+		m.done++
+	case StatusFailed:
+		m.failed++
+	case StatusCancelled:
+		m.cancelled++
+	}
+	if seconds >= 0 && scheme != "" {
+		h := m.byScheme[scheme]
+		if h == nil {
+			h = &histogram{}
+			m.byScheme[scheme] = h
+		}
+		h.observe(seconds)
+	}
+}
+
+// snapshot of counters for tests.
+type counters struct {
+	Submitted, Rejected, Done, Failed, Cancelled uint64
+}
+
+func (m *metrics) snapshot() counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return counters{m.submitted, m.rejected, m.done, m.failed, m.cancelled}
+}
+
+// write emits the Prometheus text exposition format (version 0.0.4).
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP morcd_jobs_submitted_total Jobs accepted onto the queue.")
+	fmt.Fprintln(w, "# TYPE morcd_jobs_submitted_total counter")
+	fmt.Fprintf(w, "morcd_jobs_submitted_total %d\n", m.submitted)
+
+	fmt.Fprintln(w, "# HELP morcd_jobs_rejected_total Submissions rejected because the queue was full.")
+	fmt.Fprintln(w, "# TYPE morcd_jobs_rejected_total counter")
+	fmt.Fprintf(w, "morcd_jobs_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintln(w, "# HELP morcd_jobs_total Jobs finished, by terminal status.")
+	fmt.Fprintln(w, "# TYPE morcd_jobs_total counter")
+	fmt.Fprintf(w, "morcd_jobs_total{status=\"done\"} %d\n", m.done)
+	fmt.Fprintf(w, "morcd_jobs_total{status=\"failed\"} %d\n", m.failed)
+	fmt.Fprintf(w, "morcd_jobs_total{status=\"cancelled\"} %d\n", m.cancelled)
+
+	fmt.Fprintln(w, "# HELP morcd_queue_depth Jobs waiting on the queue.")
+	fmt.Fprintln(w, "# TYPE morcd_queue_depth gauge")
+	fmt.Fprintf(w, "morcd_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP morcd_queue_capacity Queue capacity.")
+	fmt.Fprintln(w, "# TYPE morcd_queue_capacity gauge")
+	fmt.Fprintf(w, "morcd_queue_capacity %d\n", queueCap)
+
+	fmt.Fprintln(w, "# HELP morcd_workers Worker pool size.")
+	fmt.Fprintln(w, "# TYPE morcd_workers gauge")
+	fmt.Fprintf(w, "morcd_workers %d\n", workers)
+
+	fmt.Fprintln(w, "# HELP morcd_workers_busy Workers currently running a job.")
+	fmt.Fprintln(w, "# TYPE morcd_workers_busy gauge")
+	fmt.Fprintf(w, "morcd_workers_busy %d\n", m.workersBusy)
+
+	fmt.Fprintln(w, "# HELP morcd_job_duration_seconds Job wall time by scheme.")
+	fmt.Fprintln(w, "# TYPE morcd_job_duration_seconds histogram")
+	schemes := make([]string, 0, len(m.byScheme))
+	for s := range m.byScheme {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	for _, s := range schemes {
+		h := m.byScheme[s]
+		// observe() increments every bucket whose bound covers the value,
+		// so counts are already cumulative as the format requires.
+		for i, bound := range durationBuckets {
+			fmt.Fprintf(w, "morcd_job_duration_seconds_bucket{scheme=%q,le=\"%g\"} %d\n", s, bound, h.counts[i])
+		}
+		fmt.Fprintf(w, "morcd_job_duration_seconds_bucket{scheme=%q,le=\"+Inf\"} %d\n", s, h.count)
+		fmt.Fprintf(w, "morcd_job_duration_seconds_sum{scheme=%q} %g\n", s, h.sum)
+		fmt.Fprintf(w, "morcd_job_duration_seconds_count{scheme=%q} %d\n", s, h.count)
+	}
+}

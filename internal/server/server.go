@@ -1,0 +1,253 @@
+// Package server exposes the simulator as an HTTP job service ("morcd"):
+// jobs are submitted as JSON specs onto a bounded queue, drained by a
+// fixed worker pool, and can be polled, cancelled, and observed through
+// Prometheus-style metrics. cmd/morcd is the CLI front-end; package
+// client is the typed Go client.
+//
+// API:
+//
+//	POST   /v1/jobs       submit a JobSpec  → 202 JobView (429 when the queue is full)
+//	GET    /v1/jobs       list all jobs     → {"jobs": [JobView...]}
+//	GET    /v1/jobs/{id}  job status/result → JobView
+//	DELETE /v1/jobs/{id}  cancel            → JobView
+//	GET    /v1/schemes    LLC organizations the simulator implements
+//	GET    /v1/workloads  workloads, mixes, and experiments that can run
+//	GET    /metrics       Prometheus text exposition
+//	GET    /healthz       liveness
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"morc/internal/exp"
+	"morc/internal/sim"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the worker-pool size (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64). Submissions beyond it are rejected with ErrQueueFull
+	// so callers see backpressure instead of unbounded memory growth.
+	QueueDepth int
+}
+
+// Submission errors.
+var (
+	ErrQueueFull    = errors.New("job queue is full")
+	ErrShuttingDown = errors.New("server is shutting down")
+)
+
+// Server owns the job table, the bounded queue, and the worker pool.
+type Server struct {
+	workers int
+	queue   chan *Job
+	metrics *metrics
+	baseCtx context.Context
+	stopAll context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order for listing
+	nextID uint64
+	closed bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		workers: cfg.Workers,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		metrics: newMetrics(),
+		baseCtx: ctx,
+		stopAll: cancel,
+		jobs:    map[string]*Job{},
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates the spec and enqueues a job, returning it immediately.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("j%06d", s.nextID), spec)
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.metrics.jobRejected()
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+	s.metrics.jobSubmitted()
+	return job, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. The bool reports whether the
+// job existed; already-terminal jobs are left untouched.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	if fromQueue, _ := j.requestCancel(); fromQueue {
+		// Cancelled straight from the queue: no worker will report it.
+		s.metrics.jobFinished(StatusCancelled, "", -1)
+	}
+	return j, true
+}
+
+// QueueDepth is the number of jobs waiting for a worker.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Workers is the worker-pool size.
+func (s *Server) Workers() int { return s.workers }
+
+// worker drains the queue until it is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job start-to-finish, recording metrics.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel) {
+		return // cancelled while queued; Cancel already counted it
+	}
+	s.metrics.workerBusy(1)
+	defer s.metrics.workerBusy(-1)
+
+	st, res, tables, errMsg := s.execute(ctx, j)
+	j.finish(st, res, tables, errMsg)
+	v := j.View()
+	s.metrics.jobFinished(st, schemeLabel(j.Spec), v.DurationSec)
+}
+
+// schemeLabel is the metrics label for a job's wall-time histogram.
+func schemeLabel(sp JobSpec) string {
+	if sp.Experiment != "" {
+		return "exp:" + sp.Experiment
+	}
+	return sp.Scheme.String()
+}
+
+// execute runs the spec under ctx and maps the outcome to a terminal
+// state. Panics in the simulator are contained as job failures so one
+// bad configuration cannot take down the server.
+func (s *Server) execute(ctx context.Context, j *Job) (st Status, res *sim.Result, tables []*exp.Table, errMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, res, tables, errMsg = StatusFailed, nil, nil, fmt.Sprint(r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return StatusCancelled, nil, nil, ""
+	}
+	sp := j.Spec
+	if sp.Experiment != "" {
+		// Experiment jobs run morcbench's whole-figure pipeline; they
+		// check cancellation only before starting (the experiment runner
+		// has no context plumbing).
+		e, _ := exp.Get(sp.Experiment)
+		return StatusDone, nil, e.Run(sp.budget()), ""
+	}
+
+	cfg, err := sp.simConfig()
+	if err != nil {
+		return StatusFailed, nil, nil, err.Error()
+	}
+	var sys *sim.System
+	if sp.Mix != "" {
+		sys, err = sim.NewMix(sp.Mix, cfg)
+	} else {
+		sys, err = sim.NewSingle(sp.Workload, cfg)
+	}
+	if err != nil {
+		return StatusFailed, nil, nil, err.Error()
+	}
+	sys.OnProgress = j.setProgress
+	r, err := sys.RunCtx(ctx)
+	switch {
+	case errors.Is(err, context.Canceled):
+		return StatusCancelled, nil, nil, ""
+	case err != nil:
+		return StatusFailed, nil, nil, err.Error()
+	}
+	return StatusDone, &r, nil, ""
+}
+
+// Shutdown stops accepting jobs and drains the queue and in-flight work.
+// If ctx expires first, all still-running jobs are cancelled and the
+// pool is waited for (cancellation takes effect within a few thousand
+// simulated accesses), then ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.stopAll()
+		<-drained
+		return ctx.Err()
+	}
+}

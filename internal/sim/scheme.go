@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AllSchemes returns every LLC organization the simulator implements, in
+// declaration order. Front-ends (morcsim, morcbench, morcd) enumerate and
+// parse schemes through this list so it can never drift between them.
+func AllSchemes() []Scheme {
+	return []Scheme{Uncompressed, Uncompressed8x, Adaptive, Decoupled,
+		SC2, MORC, MORCMerged, Skewed}
+}
+
+// ParseScheme resolves a scheme name (case-insensitive) to its Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	for _, sch := range AllSchemes() {
+		if strings.EqualFold(sch.String(), s) {
+			return sch, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+// MarshalText encodes the scheme as its paper name, so JSON requests and
+// results carry "MORC" rather than an opaque integer.
+func (s Scheme) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses a scheme name (case-insensitive).
+func (s *Scheme) UnmarshalText(b []byte) error {
+	sch, err := ParseScheme(string(b))
+	if err != nil {
+		return err
+	}
+	*s = sch
+	return nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"morc/internal/cache"
@@ -42,7 +43,18 @@ type System struct {
 	llcSnap   cache.Stats
 	memSnap   mem.Stats
 	measuring bool
+
+	// OnProgress, when set, is called at most every checkEvery accesses
+	// with the instructions retired so far and the total target across
+	// warmup and measurement (all cores). Used by morcd to report job
+	// progress; must be cheap and must not call back into the System.
+	OnProgress func(done, total uint64)
 }
+
+// checkEvery is how many accesses pass between context-cancellation and
+// progress checks in run: frequent enough to cancel a job in well under a
+// second, rare enough to be invisible in the simulation hot loop.
+const checkEvery = 4096
 
 // New builds a system running the given per-core workloads (len must
 // equal cfg.Cores).
@@ -174,9 +186,12 @@ func (s *System) transferBytes(data []byte) int {
 	return n
 }
 
-// run advances all cores (oldest first) until each reaches its
-// per-core instruction target.
-func (s *System) run() {
+// run advances all cores (oldest first) until each reaches its per-core
+// instruction target, or ctx is cancelled (checked every checkEvery
+// accesses so the hot loop stays select-free).
+func (s *System) run(ctx context.Context) error {
+	done := ctx.Done()
+	steps := 0
 	for {
 		var pick *coreState
 		for _, c := range s.cores {
@@ -188,9 +203,24 @@ func (s *System) run() {
 			}
 		}
 		if pick == nil {
-			return
+			return nil
 		}
 		s.step(pick)
+		if steps++; steps >= checkEvery {
+			steps = 0
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			if s.OnProgress != nil {
+				var instr uint64
+				for _, c := range s.cores {
+					instr += c.instr
+				}
+				s.OnProgress(instr, s.totalTarget())
+			}
+		}
 		if s.measuring {
 			var total uint64
 			for _, c := range s.cores {
@@ -205,12 +235,35 @@ func (s *System) run() {
 	}
 }
 
+// totalTarget is the whole run's instruction count across all cores:
+// warmup plus measurement, the denominator for progress reporting.
+func (s *System) totalTarget() uint64 {
+	return uint64(len(s.cores)) * (s.cfg.WarmupInstr + s.cfg.MeasureInstr)
+}
+
 // Run executes warmup then the measurement window and returns the result.
 func (s *System) Run() Result {
+	res, err := s.RunCtx(context.Background())
+	if err != nil {
+		// Background contexts never cancel; keep the historical
+		// infallible signature for the experiment suite.
+		panic("sim: Run cancelled: " + err.Error())
+	}
+	return res
+}
+
+// RunCtx is Run under a context: warmup, then the measurement window,
+// returning the collected result. If ctx is cancelled mid-run it stops
+// within checkEvery accesses and returns ctx.Err() with a zero Result;
+// the System's counters stay internally consistent (each core simply
+// halts short of its target) but the run cannot be resumed.
+func (s *System) RunCtx(ctx context.Context) (Result, error) {
 	for _, c := range s.cores {
 		c.target = s.cfg.WarmupInstr
 	}
-	s.run()
+	if err := s.run(ctx); err != nil {
+		return Result{}, err
+	}
 	// Snapshot counters so the measurement window reports deltas.
 	s.llcSnap = *s.llc.Stats()
 	s.memSnap = *s.memctl.Stats()
@@ -226,7 +279,9 @@ func (s *System) Run() Result {
 	}
 	s.sampleAt = sampleBase
 	s.measuring = true
-	s.run()
+	if err := s.run(ctx); err != nil {
+		return Result{}, err
+	}
 	s.ratio.ForceSample(s.llc.Ratio())
-	return s.collect()
+	return s.collect(), nil
 }
