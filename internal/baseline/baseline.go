@@ -356,16 +356,37 @@ func (c *Cache) Ratio() float64 {
 	return float64(valid*cache.LineSize) / float64(c.cfg.CacheBytes)
 }
 
-// CheckInvariants validates occupancy and tag-limit invariants (tests).
+// CheckInvariants validates occupancy, tag-limit, and per-line
+// structural invariants (tests).
 func (c *Cache) CheckInvariants() error {
 	for si := range c.sets {
 		s := &c.sets[si]
 		used, valid := 0, 0
+		seen := make(map[uint64]bool)
 		for i := range s.lines {
-			if s.lines[i].valid {
-				used += s.lines[i].segments
-				valid++
+			if !s.lines[i].valid {
+				continue
 			}
+			l := &s.lines[i]
+			if l.addr != cache.LineAddr(l.addr) {
+				return fmt.Errorf("set %d: unaligned address %#x", si, l.addr)
+			}
+			if c.setOf(l.addr) != s {
+				return fmt.Errorf("set %d: holds %#x, which indexes elsewhere", si, l.addr)
+			}
+			if seen[l.addr] {
+				return fmt.Errorf("set %d: duplicate copies of %#x", si, l.addr)
+			}
+			seen[l.addr] = true
+			if len(l.data) != cache.LineSize {
+				return fmt.Errorf("set %d: %#x stores %d bytes, want %d", si, l.addr, len(l.data), cache.LineSize)
+			}
+			if l.segments < 1 || l.segments > c.segsPerSet {
+				return fmt.Errorf("set %d: %#x occupies %d segments (valid range 1..%d)",
+					si, l.addr, l.segments, c.segsPerSet)
+			}
+			used += l.segments
+			valid++
 		}
 		if used != s.used {
 			return fmt.Errorf("set %d: used %d, recorded %d", si, used, s.used)

@@ -195,17 +195,33 @@ func (s *Skewed) Stats() *cache.Stats { return &s.st.Stats }
 // BaselineStats returns the extended counters.
 func (s *Skewed) BaselineStats() *Stats { return &s.st }
 
-// CheckInvariants validates the packing (tests).
+// CheckInvariants validates the packing (tests): no address is present
+// twice across any group, every valid line is line-aligned, holds a
+// full uncompressed copy, and sits in the set its group's skew hash
+// indexes it to.
 func (s *Skewed) CheckInvariants() error {
 	seen := map[uint64]int{}
 	for gi := range s.groups {
-		for i := range s.groups[gi].lines {
-			l := &s.groups[gi].lines[i]
-			if l.valid {
-				seen[l.addr]++
-				if seen[l.addr] > 1 {
-					return fmt.Errorf("line %#x present %d times", l.addr, seen[l.addr])
-				}
+		g := &s.groups[gi]
+		per := cache.LineSize / g.subBytes
+		width := g.ways * per
+		for i := range g.lines {
+			l := &g.lines[i]
+			if !l.valid {
+				continue
+			}
+			seen[l.addr]++
+			if seen[l.addr] > 1 {
+				return fmt.Errorf("line %#x present %d times", l.addr, seen[l.addr])
+			}
+			if l.addr != cache.LineAddr(l.addr) {
+				return fmt.Errorf("group %d: unaligned address %#x", gi, l.addr)
+			}
+			if got, want := i/width, s.setOf(g, l.addr); got != want {
+				return fmt.Errorf("group %d: %#x stored in set %d, hashes to set %d", gi, l.addr, got, want)
+			}
+			if len(l.data) != cache.LineSize {
+				return fmt.Errorf("group %d: %#x stores %d bytes, want %d", gi, l.addr, len(l.data), cache.LineSize)
 			}
 		}
 	}

@@ -283,5 +283,41 @@ func (c *SetAssoc) Ratio() float64 {
 // Stats implements LLC.
 func (c *SetAssoc) Stats() *Stats { return &c.stats }
 
+// CheckInvariants verifies the cache's structural invariants: every
+// valid line is line-aligned, stored in the set its address indexes to,
+// holds exactly LineSize bytes, and no set holds two copies of the same
+// address. It exists for the internal/check differential harness; the
+// compressed organizations have analogous (much deeper) checkers.
+func (c *SetAssoc) CheckInvariants() error {
+	for s := 0; s < c.sets; s++ {
+		seen := make(map[uint64]bool, c.ways)
+		for w := 0; w < c.ways; w++ {
+			l := &c.lines[s*c.ways+w]
+			if !l.valid {
+				continue
+			}
+			if l.tag != LineAddr(l.tag) {
+				return fmt.Errorf("cache: set %d way %d holds unaligned address %#x", s, w, l.tag)
+			}
+			if c.setOf(l.tag) != s {
+				return fmt.Errorf("cache: set %d way %d holds %#x, which indexes to set %d",
+					s, w, l.tag, c.setOf(l.tag))
+			}
+			if len(l.data) != LineSize {
+				return fmt.Errorf("cache: set %d way %d holds %d bytes for %#x", s, w, len(l.data), l.tag)
+			}
+			if seen[l.tag] {
+				return fmt.Errorf("cache: set %d holds duplicate copies of %#x", s, l.tag)
+			}
+			seen[l.tag] = true
+		}
+		if len(c.pols[s].order) != c.ways {
+			return fmt.Errorf("cache: set %d replacement state tracks %d ways, want %d",
+				s, len(c.pols[s].order), c.ways)
+		}
+	}
+	return nil
+}
+
 // assert interface compliance.
 var _ LLC = (*SetAssoc)(nil)

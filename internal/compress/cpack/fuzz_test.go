@@ -1,0 +1,57 @@
+package cpack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// padWords pads data to a positive multiple of 4 bytes (C-Pack operates
+// on 32-bit words), capping the line at 1KB to bound fuzz cost.
+func padWords(data []byte) []byte {
+	if len(data) > 1024 {
+		data = data[:1024]
+	}
+	n := len(data)
+	if rem := n % 4; rem != 0 || n == 0 {
+		n += 4 - rem
+	}
+	line := make([]byte, n)
+	copy(line, data)
+	return line
+}
+
+// FuzzRoundTrip asserts compress→decompress identity and size
+// accounting: CompressedBits must agree with Compress, the bit count
+// must fall within the pattern-code bounds (2 bits per zero word, 34
+// per uncompressed word), and decoding must reproduce the input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef})
+	f.Add(bytes.Repeat([]byte{0xab, 0xcd, 0x12, 0x34}, 16))
+	f.Add([]byte{0, 0, 0, 7, 0, 0, 1, 7, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		line := padWords(data)
+		nWords := len(line) / 4
+
+		comp, nbits := Compress(line)
+		if sized := CompressedBits(line); sized != nbits {
+			t.Fatalf("CompressedBits=%d, Compress produced %d bits", sized, nbits)
+		}
+		if nbits < 2*nWords || nbits > 34*nWords {
+			t.Fatalf("%d words compressed to %d bits, outside [%d, %d]", nWords, nbits, 2*nWords, 34*nWords)
+		}
+		if have := len(comp) * 8; have < nbits {
+			t.Fatalf("buffer holds %d bits, header claims %d", have, nbits)
+		}
+
+		out, err := Decompress(comp, nbits, nWords)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(out, line) {
+			t.Fatalf("round-trip mismatch:\n in  % x\n out % x", line, out)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package fpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// padWords pads data to a positive multiple of 4 bytes (FPC encodes
+// 32-bit words), capping the line at 1KB to bound fuzz cost.
+func padWords(data []byte) []byte {
+	if len(data) > 1024 {
+		data = data[:1024]
+	}
+	n := len(data)
+	if rem := n % 4; rem != 0 || n == 0 {
+		n += 4 - rem
+	}
+	line := make([]byte, n)
+	copy(line, data)
+	return line
+}
+
+// FuzzRoundTrip asserts compress→decompress identity and size
+// accounting: CompressedBits must agree with Compress, the bit count
+// must fall within the prefix-code bounds (a zero run covers 8 words in
+// 6 bits; an uncompressed word costs 35), and decoding must reproduce
+// the input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Add([]byte{0, 0, 0, 5, 0, 0, 0, 250})                 // small sign-extended values
+	f.Add([]byte{0xff, 0xff, 0xff, 0xf0})                   // negative small value
+	f.Add([]byte{7, 7, 7, 7, 9, 9, 9, 9})                   // repeated bytes
+	f.Add([]byte{0x12, 0x34, 0, 0, 0x56, 0x78, 0x9a, 0xbc}) // halfword patterns
+	f.Add(bytes.Repeat([]byte{0xde, 0xad, 0xbe, 0xef}, 16)) // incompressible
+	f.Fuzz(func(t *testing.T, data []byte) {
+		line := padWords(data)
+		nWords := len(line) / 4
+
+		comp, nbits := Compress(line)
+		if sized := CompressedBits(line); sized != nbits {
+			t.Fatalf("CompressedBits=%d, Compress produced %d bits", sized, nbits)
+		}
+		min := (nWords + 7) / 8 * 6 // best case: zero runs of 8
+		if nbits < min || nbits > 35*nWords {
+			t.Fatalf("%d words compressed to %d bits, outside [%d, %d]", nWords, nbits, min, 35*nWords)
+		}
+		if have := len(comp) * 8; have < nbits {
+			t.Fatalf("buffer holds %d bits, header claims %d", have, nbits)
+		}
+
+		out, err := Decompress(comp, nbits, nWords)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(out, line) {
+			t.Fatalf("round-trip mismatch:\n in  % x\n out % x", line, out)
+		}
+	})
+}

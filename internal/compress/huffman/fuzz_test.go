@@ -1,0 +1,67 @@
+package huffman
+
+import (
+	"bytes"
+	"testing"
+)
+
+// padWords pads data to a positive multiple of 4 bytes (the coder
+// operates on 32-bit values), capping the line at 1KB to bound cost.
+func padWords(data []byte) []byte {
+	if len(data) > 1024 {
+		data = data[:1024]
+	}
+	n := len(data)
+	if rem := n % 4; rem != 0 || n == 0 {
+		n += 4 - rem
+	}
+	line := make([]byte, n)
+	copy(line, data)
+	return line
+}
+
+// FuzzRoundTrip builds a dictionary from the fuzzed line itself (so
+// in-dictionary and escaped values are both exercised), then asserts
+// compress→decompress identity and size accounting — for that code and
+// for the degenerate escape-only code built from an empty sampler.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(8))
+	f.Add(make([]byte, 64), uint16(4))
+	f.Add(bytes.Repeat([]byte{0, 0, 0, 42}, 16), uint16(2))
+	f.Add([]byte{1, 2, 3, 4, 1, 2, 3, 4, 9, 9, 9, 9}, uint16(64))
+	f.Add([]byte{0xca, 0xfe, 0xba, 0xbe, 0, 0, 0, 1}, uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, maxValues uint16) {
+		line := padWords(data)
+		nWords := len(line) / 4
+
+		s := NewSampler()
+		s.SampleLine(line)
+		// A second biased sample so the dictionary rarely covers every
+		// word of the line and the escape path stays hot.
+		s.SampleLine(bytes.Repeat([]byte{0, 0, 0, 42}, 16))
+
+		for _, code := range []*Code{
+			Build(s, int(maxValues%512)+1),
+			Build(NewSampler(), 16), // escape-only
+		} {
+			comp, nbits := code.Compress(line)
+			if sized := code.CompressedBits(line); sized != nbits {
+				t.Fatalf("CompressedBits=%d, Compress produced %d bits", sized, nbits)
+			}
+			if nWords > 0 && nbits <= 0 {
+				t.Fatalf("%d words compressed to %d bits", nWords, nbits)
+			}
+			if have := len(comp) * 8; have < nbits {
+				t.Fatalf("buffer holds %d bits, header claims %d", have, nbits)
+			}
+			out, err := code.Decompress(comp, nbits, nWords)
+			if err != nil {
+				t.Fatalf("decompress (dict %d values): %v", code.DictionaryValues(), err)
+			}
+			if !bytes.Equal(out, line) {
+				t.Fatalf("round-trip mismatch (dict %d values):\n in  % x\n out % x",
+					code.DictionaryValues(), line, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package lzref
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip streams the fuzz data through the encoder in
+// variable-size appends and asserts the whole stream decodes back to
+// the exact input, with per-append and total bit accounting consistent.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte("abcabcabcabcabc"), uint8(5))
+	f.Add(make([]byte, 200), uint8(33))
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 20), uint8(64))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		step := int(chunk%97) + 1
+
+		cfg := DefaultConfig()
+		e := NewEncoder(cfg)
+		total := 0
+		for off := 0; off < len(data); off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			n := e.Append(data[off:end])
+			if n < 0 {
+				t.Fatalf("append reported %d bits", n)
+			}
+			total += n
+		}
+		if e.Bits() != total {
+			t.Fatalf("encoder holds %d bits, appends reported %d", e.Bits(), total)
+		}
+		if e.InputBytes() != len(data) {
+			t.Fatalf("InputBytes=%d, appended %d", e.InputBytes(), len(data))
+		}
+		if have := len(e.Bytes()) * 8; have < e.Bits() {
+			t.Fatalf("buffer holds %d bits, encoder claims %d", have, e.Bits())
+		}
+
+		out, err := Decode(cfg, e.Bytes(), e.Bits(), len(data))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round-trip mismatch:\n in  % x\n out % x", data, out)
+		}
+	})
+}

@@ -1,61 +1,51 @@
 package core
 
 import (
-	"bytes"
 	"testing"
 	"testing/quick"
 
 	"morc/internal/cache"
+	"morc/internal/check"
 	"morc/internal/rng"
 )
 
-// refModel is a golden model of what the cache must return: the latest
-// data inserted for each address that has not been evicted. Evictions are
-// allowed to drop lines (we can't predict which), but a hit must always
-// return the latest data, and a line never inserted must never hit.
-type refModel struct {
-	latest map[uint64][]byte
+// quickCount shrinks property-test iteration counts under -short.
+func quickCount(full int) int {
+	if testing.Short() {
+		if full > 8 {
+			return full / 4
+		}
+		return full
+	}
+	return full
 }
-
-func newRefModel() *refModel { return &refModel{latest: make(map[uint64][]byte)} }
 
 // TestReadAlwaysReturnsLatestData is the core correctness property from
 // DESIGN.md: under random interleavings of fills, write-backs, and reads
 // (with the evictions they trigger), a MORC read hit always returns the
-// most recent data for the address.
+// most recent data for the address. The reference model lives in
+// internal/check (latest-data-wins oracle) so every organization is
+// held to the same contract.
 func TestReadAlwaysReturnsLatestData(t *testing.T) {
 	f := func(seed uint64, merged bool, opsLen uint16) bool {
 		cfg := DefaultConfig(8 * 1024)
 		cfg.ActiveLogs = 2
 		cfg.Merged = merged
 		c := New(cfg)
-		ref := newRefModel()
+		o := check.New(c)
 		r := rng.New(seed)
 		n := int(opsLen%600) + 50
-		for i := 0; i < n; i++ {
-			addr := uint64(r.Intn(128)) * cache.LineSize
-			switch r.Intn(3) {
-			case 0: // read
-				res := c.Read(addr)
-				if res.Hit {
-					want, ok := ref.latest[addr]
-					if !ok || !bytes.Equal(res.Data, want) {
-						return false
-					}
-				}
-			case 1: // fill
-				d := randomishLine(r)
-				c.Fill(addr, d)
-				ref.latest[addr] = d
-			default: // write-back
-				d := randomishLine(r)
-				c.WriteBack(addr, d)
-				ref.latest[addr] = d
-			}
+		if err := check.Exercise(o, r, n, 128); err != nil {
+			t.Logf("seed %d merged=%v: %v", seed, merged, err)
+			return false
 		}
-		return c.CheckInvariants() == nil
+		if err := c.CheckInvariants(); err != nil {
+			t.Logf("seed %d merged=%v: %v", seed, merged, err)
+			return false
+		}
+		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(40)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -77,47 +67,32 @@ func randomishLine(r *rng.RNG) []byte {
 	return b
 }
 
-// TestEvictedDirtyLinesReachMemory checks conservation: every dirty line
-// either remains readable in the cache or was handed back via a
-// Writeback. We track all writebacks and verify the final state of every
+// TestEvictedDirtyLinesReachMemory checks conservation: every dirty
+// line either remains readable in the cache or was handed back via a
+// Writeback. The oracle tracks the memory image from emitted
+// write-backs; CheckConservation verifies the final state of every
 // written address is accounted for.
 func TestEvictedDirtyLinesReachMemory(t *testing.T) {
 	f := func(seed uint64) bool {
 		cfg := DefaultConfig(8 * 1024)
 		cfg.ActiveLogs = 2
 		c := New(cfg)
+		o := check.New(c)
 		r := rng.New(seed)
-		mem := map[uint64][]byte{}    // what memory would hold
-		latest := map[uint64][]byte{} // latest version written
 		for i := 0; i < 800; i++ {
 			addr := uint64(r.Intn(200)) * cache.LineSize
-			d := randomishLine(r)
-			wbs := c.WriteBack(addr, d)
-			latest[addr] = d
-			for _, wb := range wbs {
-				mem[wb.Addr] = wb.Data
+			if err := o.WriteBack(addr, randomishLine(r)); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
 			}
 		}
-		// Every written address must be current in cache, or memory must
-		// hold *some* version (possibly stale if the cache still has the
-		// newer one — but if the cache misses, memory must hold the
-		// latest version exactly).
-		for addr, want := range latest {
-			res := c.Read(addr)
-			if res.Hit {
-				if !bytes.Equal(res.Data, want) {
-					return false
-				}
-			} else {
-				got, ok := mem[addr]
-				if !ok || !bytes.Equal(got, want) {
-					return false
-				}
-			}
+		if err := o.CheckConservation(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(20)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -137,7 +112,7 @@ func TestRatioNeverExceedsLMTProvisioning(t *testing.T) {
 		_ = r
 		return c.Ratio() <= float64(cfg.LMTFactor)+0.01 && c.CheckInvariants() == nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(8)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -145,13 +120,17 @@ func TestRatioNeverExceedsLMTProvisioning(t *testing.T) {
 // TestInvariantsUnderChurn hammers the cache with a hot working set that
 // repeatedly overwrites lines, then verifies all structural invariants.
 func TestInvariantsUnderChurn(t *testing.T) {
+	ops := 5000
+	if testing.Short() {
+		ops = 1200
+	}
 	for _, merged := range []bool{false, true} {
 		cfg := DefaultConfig(8 * 1024)
 		cfg.ActiveLogs = 4
 		cfg.Merged = merged
 		c := New(cfg)
 		r := rng.New(99)
-		for i := 0; i < 5000; i++ {
+		for i := 0; i < ops; i++ {
 			addr := uint64(r.Geometric(0.05)) * cache.LineSize
 			switch r.Intn(3) {
 			case 0:

@@ -6,6 +6,15 @@ import (
 	"testing"
 )
 
+// skipIfShort keeps multi-hundred-thousand-instruction simulations out
+// of the -short lane (see README "Testing").
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy simulation; run without -short")
+	}
+}
+
 // tiny returns a minimal budget restricted to three contrasting
 // workloads so every experiment path runs in seconds.
 func tiny() Budget {
@@ -91,6 +100,7 @@ func TestTab4MORCOverheads(t *testing.T) {
 }
 
 func TestFig2Runs(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("fig2")
 	tables := e.Run(tiny())
 	if len(tables) != 2 {
@@ -106,6 +116,7 @@ func TestFig2Runs(t *testing.T) {
 }
 
 func TestFig6Runs(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("fig6")
 	tables := e.Run(tiny())
 	if len(tables) != 4 {
@@ -129,6 +140,7 @@ func TestFig6Runs(t *testing.T) {
 }
 
 func TestFig7SharesSumToOne(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("fig7")
 	tab := e.Run(tiny())[0]
 	for _, row := range tab.Rows {
@@ -143,6 +155,7 @@ func TestFig7SharesSumToOne(t *testing.T) {
 }
 
 func TestFig12InclusiveWorse(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("fig12")
 	tab := e.Run(tiny())[0]
 	last := tab.Rows[len(tab.Rows)-1] // AMean
@@ -153,6 +166,7 @@ func TestFig12InclusiveWorse(t *testing.T) {
 }
 
 func TestFig13bMoreLogsNoWorse(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("fig13b")
 	b := tiny()
 	tab := e.Run(b)[0]
@@ -169,6 +183,7 @@ func TestFig13bMoreLogsNoWorse(t *testing.T) {
 }
 
 func TestFig15Runs(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("fig15")
 	tab := e.Run(tiny())[0]
 	gmean := tab.Rows[len(tab.Rows)-1]
@@ -179,6 +194,7 @@ func TestFig15Runs(t *testing.T) {
 }
 
 func TestCodecsExperiment(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("codecs")
 	tab := e.Run(tiny())[0]
 	gm := tab.Rows[len(tab.Rows)-1]
@@ -196,6 +212,7 @@ func TestCodecsExperiment(t *testing.T) {
 }
 
 func TestAblateExperiment(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("ablate")
 	tab := e.Run(tiny())[0]
 	if len(tab.Rows) < 6 {
@@ -216,6 +233,7 @@ func TestAblateExperiment(t *testing.T) {
 }
 
 func TestExtensionsExperiment(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("ext")
 	tables := e.Run(tiny())
 	if len(tables) != 3 {
@@ -246,6 +264,7 @@ func TestExtensionsExperiment(t *testing.T) {
 }
 
 func TestFig6ColumnHeaders(t *testing.T) {
+	skipIfShort(t)
 	// Regression: the improvement panels must not alias (and clobber)
 	// the ratio panel's column slice.
 	e, _ := Get("fig6")

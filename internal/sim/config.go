@@ -118,6 +118,11 @@ func DefaultConfig() Config {
 	}
 }
 
+// NewLLC builds the configured LLC organization. It is how test
+// harnesses (internal/check) obtain the exact cache-under-test the
+// simulator would run for a given Config.
+func (cfg Config) NewLLC() cache.LLC { return cfg.newLLC() }
+
 // newLLC builds the configured LLC organization.
 func (cfg Config) newLLC() cache.LLC {
 	capacity := cfg.LLCBytesPerCore * cfg.Cores

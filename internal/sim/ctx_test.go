@@ -14,6 +14,7 @@ import (
 // context.Canceled, and leaves the System's counters internally
 // consistent (no core past its target, measurement snapshots taken).
 func TestRunCtxCancelMidMeasurement(t *testing.T) {
+	skipIfShort(t)
 	cfg := quickCfg(MORC)
 	cfg.MeasureInstr = 50_000_000 // far more than we will let it run
 

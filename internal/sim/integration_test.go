@@ -11,6 +11,7 @@ import (
 // store mix) must be identical regardless of the LLC organization — the
 // generator and value model may not be perturbed by caching decisions.
 func TestAccessStreamSchemeIndependent(t *testing.T) {
+	skipIfShort(t)
 	cfg := quickCfg(Uncompressed)
 	var refRefs, refInstr uint64
 	for i, sch := range []Scheme{Uncompressed, Adaptive, SC2, MORC} {
@@ -32,6 +33,7 @@ func TestAccessStreamSchemeIndependent(t *testing.T) {
 // evictions, write-backs and recycling, the MORC structural invariants
 // (stream decodability, LMT consistency) must hold.
 func TestMORCInvariantsAfterSimulation(t *testing.T) {
+	skipIfShort(t)
 	for _, wl := range []string{"gcc", "mcf", "lbm"} {
 		cfg := quickCfg(MORC)
 		cfg.WarmupInstr = 100_000
@@ -50,6 +52,7 @@ func TestMORCInvariantsAfterSimulation(t *testing.T) {
 // yields the last value the core wrote (caught by core/baseline golden
 // tests) and the sim moves whole 64B lines only.
 func TestTrafficIsLineGranular(t *testing.T) {
+	skipIfShort(t)
 	for _, sch := range []Scheme{Uncompressed, MORC} {
 		res := RunSingle("soplex", quickCfg(sch))
 		if res.MemBytes%64 != 0 {
@@ -60,6 +63,7 @@ func TestTrafficIsLineGranular(t *testing.T) {
 
 // TestCGMTNeverBelowSingleThread: hiding latency can only help.
 func TestCGMTNeverBelowSingleThread(t *testing.T) {
+	skipIfShort(t)
 	for _, wl := range []string{"gcc", "mcf", "povray", "lbm"} {
 		res := RunSingle(wl, quickCfg(MORC))
 		if res.Throughput < res.IPC-1e-12 {
@@ -94,6 +98,7 @@ func TestMORCConfigOverride(t *testing.T) {
 
 // TestMixDeterminism: multi-program runs replay exactly.
 func TestMixDeterminism(t *testing.T) {
+	skipIfShort(t)
 	cfg := quickCfg(MORC)
 	cfg.WarmupInstr = 20_000
 	cfg.MeasureInstr = 30_000

@@ -6,6 +6,15 @@ import (
 	"morc/internal/trace"
 )
 
+// skipIfShort keeps multi-hundred-thousand-instruction simulations out
+// of the -short lane (see README "Testing").
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy simulation; run without -short")
+	}
+}
+
 // quickCfg shrinks the run for fast tests.
 func quickCfg(s Scheme) Config {
 	cfg := DefaultConfig()
@@ -17,6 +26,7 @@ func quickCfg(s Scheme) Config {
 }
 
 func TestRunSingleAllSchemes(t *testing.T) {
+	skipIfShort(t)
 	for _, s := range []Scheme{Uncompressed, Uncompressed8x, Adaptive, Decoupled, SC2, MORC, MORCMerged} {
 		res := RunSingle("gcc", quickCfg(s))
 		if res.IPC <= 0 || res.IPC > 1 {
@@ -38,6 +48,7 @@ func TestRunSingleAllSchemes(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	skipIfShort(t)
 	a := RunSingle("astar", quickCfg(MORC))
 	b := RunSingle("astar", quickCfg(MORC))
 	if a.IPC != b.IPC || a.MemBytes != b.MemBytes || a.CompRatio != b.CompRatio {
@@ -46,6 +57,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestMORCCompressesBetterThanBaselines(t *testing.T) {
+	skipIfShort(t)
 	// The headline result on a compressible workload.
 	morc := RunSingle("gcc", quickCfg(MORC))
 	adaptive := RunSingle("gcc", quickCfg(Adaptive))
@@ -105,6 +117,7 @@ func TestComputeBoundWorkloadInsensitive(t *testing.T) {
 }
 
 func TestThroughputModelHidesLatency(t *testing.T) {
+	skipIfShort(t)
 	// CGMT throughput must exceed single-thread IPC when stalls exist.
 	res := RunSingle("mcf", quickCfg(MORC))
 	if res.Cores[0].StallCycles == 0 {
@@ -116,6 +129,7 @@ func TestThroughputModelHidesLatency(t *testing.T) {
 }
 
 func TestMultiProgramMixRuns(t *testing.T) {
+	skipIfShort(t)
 	cfg := quickCfg(MORC)
 	cfg.WarmupInstr = 20_000
 	cfg.MeasureInstr = 40_000
@@ -156,6 +170,7 @@ func TestSharedLLCSeesAllCores(t *testing.T) {
 }
 
 func TestInclusiveModeFillsOnStoreMiss(t *testing.T) {
+	skipIfShort(t)
 	cfg := quickCfg(MORC)
 	cfg.Inclusive = true
 	inc := RunSingle("lbm", cfg)
@@ -169,6 +184,7 @@ func TestInclusiveModeFillsOnStoreMiss(t *testing.T) {
 }
 
 func TestEnergyDRAMTracksTraffic(t *testing.T) {
+	skipIfShort(t)
 	morc := RunSingle("gcc", quickCfg(MORC))
 	unc := RunSingle("gcc", quickCfg(Uncompressed))
 	if morc.Energy.DRAMJ >= unc.Energy.DRAMJ {
@@ -180,6 +196,7 @@ func TestEnergyDRAMTracksTraffic(t *testing.T) {
 }
 
 func TestBytesConservation(t *testing.T) {
+	skipIfShort(t)
 	// Every off-chip byte is a 64B line transfer: reads = LLC misses that
 	// went to memory, writes = LLC write-backs to memory.
 	res := RunSingle("omnetpp", quickCfg(MORC))

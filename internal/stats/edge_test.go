@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEmptyInputsAllZero: every summary function must return 0 for an
+// empty table rather than NaN (0/0) or panic.
+func TestEmptyInputsAllZero(t *testing.T) {
+	var none []float64
+	for name, got := range map[string]float64{
+		"Mean":       Mean(none),
+		"GeoMean":    GeoMean(none),
+		"Min":        Min(none),
+		"Max":        Max(none),
+		"Percentile": Percentile(none, 50),
+	} {
+		if got != 0 {
+			t.Errorf("%s(empty) = %v, want 0", name, got)
+		}
+	}
+	if got := (&Sampler{Interval: 10}).Mean(); got != 0 {
+		t.Errorf("Sampler.Mean with no samples = %v, want 0", got)
+	}
+}
+
+// TestOverflowMagnitudeValues: values near the float64 extremes must
+// not turn a mean into NaN through naive intermediate overflow of a
+// single element (sums of two maxima do overflow to +Inf, which is the
+// documented float64 behavior — but a single huge value must survive).
+func TestOverflowMagnitudeValues(t *testing.T) {
+	huge := math.MaxFloat64
+	if got := Mean([]float64{huge}); got != huge {
+		t.Errorf("Mean([max]) = %v", got)
+	}
+	if got := Max([]float64{-huge, huge}); got != huge {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min([]float64{-huge, huge}); got != -huge {
+		t.Errorf("Min = %v", got)
+	}
+	// GeoMean works in log space, so values whose product would
+	// overflow (1e300 * 1e300 >> MaxFloat64) still average correctly.
+	big := 1e300
+	got := GeoMean([]float64{big, big})
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("GeoMean([1e300, 1e300]) = %v", got)
+	}
+	if rel := math.Abs(got-big) / big; rel > 1e-9 {
+		t.Errorf("GeoMean([1e300, 1e300]) = %v, want ~%v", got, big)
+	}
+}
+
+// TestPercentileClampsAndInterpolates: out-of-range percentiles clamp
+// to the extremes; in-range ones interpolate linearly between ranks.
+func TestPercentileClampsAndInterpolates(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{-5, 10}, {0, 10}, {100, 40}, {150, 40},
+		{50, 25},        // midpoint between ranks 1 and 2
+		{25, 17.5},      // 0.75 of the way from 10 to 20
+		{100.0 / 3, 20}, // exactly on rank 1
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile(single, 99) = %v, want 7", got)
+	}
+}
+
+// TestHistogramOverflowAndUnderflow: samples below every bound land in
+// the first bucket, samples at or above the last bound in the implicit
+// overflow bucket, and counts stay exact for overflow-prone totals.
+func TestHistogramOverflowAndUnderflow(t *testing.T) {
+	h := NewHistogram([]float64{0, 10})
+	h.Add(math.Inf(-1))
+	h.Add(-1)
+	h.Add(0) // bound itself belongs to the next bucket
+	h.Add(9.999)
+	h.Add(10)
+	h.Add(math.MaxFloat64)
+	h.Add(math.Inf(1))
+	want := []uint64{2, 2, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.N != 7 {
+		t.Fatalf("N = %d, want 7", h.N)
+	}
+}
+
+// TestSamplerManyBoundariesAtOnce: one Tick that jumps far past many
+// interval boundaries must take one sample per boundary crossed, and
+// near-overflow clocks must not wedge the sampler.
+func TestSamplerManyBoundariesAtOnce(t *testing.T) {
+	s := NewSampler(100)
+	s.Tick(1000, 2.0) // crosses boundaries 100..1000
+	if s.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", s.Count())
+	}
+	if s.Mean() != 2.0 {
+		t.Fatalf("Mean = %v, want 2", s.Mean())
+	}
+	if s.Due(1000) {
+		t.Fatal("Due immediately after sampling")
+	}
+	if !s.Due(1100) {
+		t.Fatal("not Due at the next boundary")
+	}
+
+	big := NewSampler(1 << 62)
+	big.Tick(1<<62, 1.0)
+	if big.Count() != 1 {
+		t.Fatalf("big-interval Count = %d, want 1", big.Count())
+	}
+}
