@@ -19,6 +19,7 @@ import (
 	"morc/internal/exp"
 	"morc/internal/rng"
 	"morc/internal/sim"
+	"morc/internal/telemetry"
 )
 
 // benchBudget is the scaled-down experiment budget for testing.B runs.
@@ -61,6 +62,7 @@ func BenchmarkFig13aLogSizeSweep(b *testing.B)       { runExperiment(b, "fig13a"
 func BenchmarkFig13bActiveLogSweep(b *testing.B)     { runExperiment(b, "fig13b") }
 func BenchmarkFig14LatencyDistribution(b *testing.B) { runExperiment(b, "fig14") }
 func BenchmarkFig15MergedTags(b *testing.B)          { runExperiment(b, "fig15") }
+func BenchmarkRatioTimeseries(b *testing.B)          { runExperiment(b, "ratiots") }
 func BenchmarkTab1Energies(b *testing.B)             { runExperiment(b, "tab1") }
 func BenchmarkTab4Overheads(b *testing.B)            { runExperiment(b, "tab4") }
 func BenchmarkTab5Config(b *testing.B)               { runExperiment(b, "tab5") }
@@ -216,6 +218,24 @@ func BenchmarkSimulatorUncompressed(b *testing.B) {
 		res := sim.RunSingle("gcc", cfg)
 		if res.CompletionCycles == 0 {
 			b.Fatal("no cycles")
+		}
+	}
+}
+
+// BenchmarkSimulatorMORCTelemetry is BenchmarkSimulatorMORC with an
+// aggressive telemetry grid (one epoch per 10k instructions — 1000x the
+// paper's density). Comparing the two quantifies the recorder's overhead;
+// the disabled case pays only a nil check per sampler due-check.
+func BenchmarkSimulatorMORCTelemetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Scheme = sim.MORC
+		cfg.WarmupInstr = 50_000
+		cfg.MeasureInstr = 100_000
+		cfg.Telemetry = telemetry.Config{Every: 10_000}
+		res := sim.RunSingle("gcc", cfg)
+		if res.Telemetry == nil {
+			b.Fatal("no telemetry")
 		}
 	}
 }

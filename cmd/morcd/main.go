@@ -9,8 +9,13 @@
 //
 //	morcd -submit -server http://localhost:8077 -workload gcc -scheme MORC -wait
 //	morcd -submit -server http://localhost:8077 -mix M0 -scheme SC2 -budget full
+//	morcd -submit -server http://localhost:8077 -workload gcc -telemetry 10000000 -wait
 //	morcd -submit -server http://localhost:8077 -exp fig6 -wait
 //	morcd -submit -server http://localhost:8077 -cancel j000001
+//
+// A serving instance also exposes runtime introspection: /debug/pprof/
+// for profiles, /debug/vars for expvar, /metrics for Prometheus, and
+// per-job SSE streams on /v1/jobs/{id}/events.
 //
 // The serve mode shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops, queued and in-flight jobs drain for up to -drain, then anything
@@ -22,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,20 +55,22 @@ func main() {
 		expID     = flag.String("exp", "", "experiment id to submit (see morcbench -list)")
 		scheme    = flag.String("scheme", "MORC", "LLC scheme for workload/mix jobs")
 		budget    = flag.String("budget", "quick", "simulation budget: quick|full")
+		epoch     = flag.Uint64("telemetry", 0, "record a telemetry epoch every N instructions (0 = off)")
 		wait      = flag.Bool("wait", false, "poll until the job finishes and print the final view")
 		cancelID  = flag.String("cancel", "", "cancel the given job id instead of submitting")
 	)
 	flag.Parse()
 
 	if *submit || *cancelID != "" {
-		if err := runClient(*serverURL, *workload, *mix, *expID, *scheme, *budget, *cancelID, *wait); err != nil {
+		if err := runClient(*serverURL, *workload, *mix, *expID, *scheme, *budget, *cancelID, *epoch, *wait); err != nil {
 			fmt.Fprintln(os.Stderr, "morcd:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	srv := server.New(server.Config{Workers: *workers, QueueDepth: *queue})
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(server.Config{Workers: *workers, QueueDepth: *queue, Logger: logger})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -91,7 +99,7 @@ func main() {
 }
 
 // runClient implements -submit / -cancel against a running server.
-func runClient(baseURL, workload, mix, expID, scheme, budget, cancelID string, wait bool) error {
+func runClient(baseURL, workload, mix, expID, scheme, budget, cancelID string, epoch uint64, wait bool) error {
 	c := client.New(baseURL)
 	ctx := context.Background()
 
@@ -103,7 +111,7 @@ func runClient(baseURL, workload, mix, expID, scheme, budget, cancelID string, w
 		return printJSON(v)
 	}
 
-	spec := server.JobSpec{Workload: workload, Mix: mix, Experiment: expID, Budget: budget}
+	spec := server.JobSpec{Workload: workload, Mix: mix, Experiment: expID, Budget: budget, Telemetry: epoch}
 	if workload != "" || mix != "" {
 		sch, err := sim.ParseScheme(scheme)
 		if err != nil {

@@ -7,6 +7,7 @@
 //	morcsim -mix M0 -scheme SC2 -bw 1600e6
 //	morcsim -workload astar -scheme MORC -logsize 1024 -activelogs 16
 //	morcsim -workload gcc -scheme MORC -json   # same Result JSON as morcd
+//	morcsim -workload gcc -scheme MORC -telemetry ts.ndjson -epoch 100000
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"morc/internal/core"
 	"morc/internal/sim"
+	tel "morc/internal/telemetry"
 	"morc/internal/trace"
 )
 
@@ -44,6 +46,8 @@ func main() {
 		activeLogs = flag.Int("activelogs", 0, "MORC active log count override")
 		inclusive  = flag.Bool("inclusive", false, "insert fetched lines on store misses too")
 		jsonOut    = flag.Bool("json", false, "emit the Result as JSON (the same encoding morcd serves)")
+		telemetry  = flag.String("telemetry", "", "write the per-epoch time series as NDJSON to this file (- for stdout)")
+		epoch      = flag.Uint64("epoch", tel.DefaultEvery, "telemetry epoch length in instructions (with -telemetry)")
 	)
 	flag.Parse()
 
@@ -59,6 +63,9 @@ func main() {
 	cfg.WarmupInstr = *warmup
 	cfg.MeasureInstr = *measure
 	cfg.Inclusive = *inclusive
+	if *telemetry != "" {
+		cfg.Telemetry = tel.Config{Every: *epoch}
+	}
 	if *logSize > 0 || *activeLogs > 0 {
 		mc := core.DefaultConfig(cfg.LLCBytesPerCore)
 		if *logSize > 0 {
@@ -84,6 +91,13 @@ func main() {
 		res = sim.RunSingle(*workload, cfg)
 	}
 
+	if *telemetry != "" {
+		if err := writeTelemetry(*telemetry, res.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, "morcsim:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -106,4 +120,27 @@ func main() {
 	fmt.Printf("    static %.3f / DRAM %.3f / SRAM %.3f / comp %.3f / decomp %.3f mJ\n",
 		(res.Energy.StaticJ+res.Energy.DRAMStaticJ)*1e3, res.Energy.DRAMJ*1e3,
 		res.Energy.SRAMJ*1e3, res.Energy.CompressJ*1e3, res.Energy.DecompressJ*1e3)
+	if res.Telemetry != nil {
+		fmt.Printf("  telemetry              %d epochs every %d instructions -> %s\n",
+			len(res.Telemetry.Epochs), res.Telemetry.Every, *telemetry)
+	}
+}
+
+// writeTelemetry dumps the run's epoch series as NDJSON.
+func writeTelemetry(path string, ts *tel.Series) error {
+	if ts == nil {
+		return fmt.Errorf("run recorded no telemetry")
+	}
+	if path == "-" {
+		return ts.WriteNDJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

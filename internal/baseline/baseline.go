@@ -165,6 +165,36 @@ func (c *Cache) Stats() *cache.Stats { return &c.st.Stats }
 // BaselineStats returns the extended counters.
 func (c *Cache) BaselineStats() *Stats { return &c.st }
 
+// Probes implements cache.Probed with the compressed-baseline gauges:
+// segment occupancy, the uncompressed-line share, and the cumulative
+// reorganization events (Adaptive defragmentations, SC2 dictionary
+// rebuilds).
+func (c *Cache) Probes() map[string]float64 {
+	used, lines, expanded := 0, 0, 0
+	for si := range c.sets {
+		used += c.sets[si].used
+		for i := range c.sets[si].lines {
+			l := &c.sets[si].lines[i]
+			if l.valid {
+				lines++
+				if l.segments*c.cfg.segBytes() >= cache.LineSize {
+					expanded++
+				}
+			}
+		}
+	}
+	p := map[string]float64{
+		"seg_occupancy": float64(used) / float64(c.segsPerSet*len(c.sets)),
+		"defrags":       float64(c.st.Defrags),
+		"sc2_rebuilds":  float64(c.st.SC2Rebuilds),
+		"expansions":    float64(c.st.Expansions),
+	}
+	if lines > 0 {
+		p["uncompressed_frac"] = float64(expanded) / float64(lines)
+	}
+	return p
+}
+
 func (c *Cache) setOf(addr uint64) *set {
 	return &c.sets[cache.LineTag(addr)%uint64(len(c.sets))]
 }

@@ -195,6 +195,27 @@ func (s *Skewed) Stats() *cache.Stats { return &s.st.Stats }
 // BaselineStats returns the extended counters.
 func (s *Skewed) BaselineStats() *Stats { return &s.st }
 
+// Probes implements cache.Probed: overall occupancy plus per-size-class
+// slot occupancy (how well each skew group's compressibility class is
+// utilized) and the cumulative expansion count.
+func (s *Skewed) Probes() map[string]float64 {
+	p := map[string]float64{
+		"occupancy":  s.Ratio(),
+		"expansions": float64(s.st.Expansions),
+	}
+	for _, g := range s.groups {
+		valid := 0
+		for i := range g.lines {
+			if g.lines[i].valid {
+				valid++
+			}
+		}
+		p[fmt.Sprintf("skew_occupancy_%db", g.subBytes)] =
+			float64(valid) / float64(len(g.lines))
+	}
+	return p
+}
+
 // CheckInvariants validates the packing (tests): no address is present
 // twice across any group, every valid line is line-aligned, holds a
 // full uncompressed copy, and sits in the set its group's skew hash

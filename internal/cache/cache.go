@@ -56,6 +56,20 @@ type LLC interface {
 	Stats() *Stats
 }
 
+// Probed is optionally implemented by LLC organizations that expose
+// scheme-specific gauges beyond the common Stats counters. The telemetry
+// layer reads probes at every epoch boundary, so implementations should
+// be cheap relative to an epoch's worth of simulation (a full walk of
+// the organization's metadata is fine; per-line decompression is not).
+//
+// Probe values are gauges sampled at the boundary: instantaneous
+// fractions (occupancy, invalid share) or cumulative event counts (GC
+// compactions), never per-epoch deltas — consumers difference cumulative
+// probes themselves if they want rates.
+type Probed interface {
+	Probes() map[string]float64
+}
+
 // Stats are the counters every LLC maintains.
 type Stats struct {
 	Reads        uint64
@@ -282,6 +296,12 @@ func (c *SetAssoc) Ratio() float64 {
 
 // Stats implements LLC.
 func (c *SetAssoc) Stats() *Stats { return &c.stats }
+
+// Probes implements Probed: an uncompressed cache's only gauge is its
+// occupancy.
+func (c *SetAssoc) Probes() map[string]float64 {
+	return map[string]float64{"occupancy": c.Ratio()}
+}
 
 // CheckInvariants verifies the cache's structural invariants: every
 // valid line is line-aligned, stored in the set its address indexes to,

@@ -1,0 +1,65 @@
+package check_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"morc/internal/sim"
+	"morc/internal/telemetry"
+)
+
+// TestTelemetryConservationAllSchemes runs every scheme with telemetry
+// on the determinism window and checks the harness-level invariants: the
+// series validates structurally, its per-epoch deltas sum to the window
+// totals the Result reports, its weighted mean ratio reproduces
+// CompRatio, and stripping the series leaves a Result byte-identical to
+// a telemetry-free run (the recorder is a pure observer).
+func TestTelemetryConservationAllSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every scheme twice; use the full (non -short) lane")
+	}
+	for _, sch := range sim.AllSchemes() {
+		sch := sch
+		t.Run(sch.String(), func(t *testing.T) {
+			cfg := detSimConfig()
+			cfg.Scheme = sch
+			plain, err := sim.RunSingleCtx(context.Background(), "gcc", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Telemetry = telemetry.Config{Every: 20_000}
+			traced, err := sim.RunSingleCtx(context.Background(), "gcc", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := traced.Telemetry
+			if ts == nil {
+				t.Fatal("no telemetry recorded")
+			}
+			if err := ts.Validate(); err != nil {
+				t.Fatal(err)
+			}
+
+			tot := ts.Totals()
+			if tot.LLCReads != traced.LLCStats.Reads || tot.LLCHits != traced.LLCStats.Hits ||
+				tot.LLCMisses != traced.LLCStats.Misses || tot.Fills != traced.LLCStats.Fills ||
+				tot.WriteBacks != traced.LLCStats.WriteBacks || tot.MemWBs != traced.LLCStats.MemWBs {
+				t.Errorf("epoch sums %+v do not reproduce window LLC stats %+v", tot, traced.LLCStats)
+			}
+			if got := tot.MemReadBytes + tot.MemWriteBytes; got != traced.MemBytes {
+				t.Errorf("epoch memory bytes %d != window %d", got, traced.MemBytes)
+			}
+			if got := ts.MeanRatio(); math.Abs(got-traced.CompRatio) > 1e-6 {
+				t.Errorf("series mean ratio %v != CompRatio %v", got, traced.CompRatio)
+			}
+
+			traced.Telemetry = nil
+			pj, tj := resultJSON(t, &plain), resultJSON(t, &traced)
+			if !bytes.Equal(pj, tj) {
+				t.Errorf("telemetry perturbed the run:\nplain  %s\ntraced %s", pj, tj)
+			}
+		})
+	}
+}

@@ -154,6 +154,27 @@ func (c *Cache) InvalidFraction() float64 {
 	return float64(invalid) / float64(total)
 }
 
+// Probes implements cache.Probed with MORC's organization-specific
+// gauges: data-store occupancy in compressed bits, the invalid-entry
+// share (Figure 12), and the cumulative log-GC counters. Event counts
+// are exposed cumulatively (gauges of totals); the telemetry layer's
+// consumers difference them per epoch.
+func (c *Cache) Probes() map[string]float64 {
+	occBits := 0
+	for _, lg := range c.logs {
+		occBits += c.occBits(lg)
+	}
+	return map[string]float64{
+		"morc_log_occupancy":    float64(occBits) / float64(c.cfg.CacheBytes*8),
+		"morc_invalid_fraction": c.InvalidFraction(),
+		"morc_log_evictions":    float64(c.st.LogEvictions),
+		"morc_log_reuses":       float64(c.st.LogReuses),
+		"morc_lmt_conflicts":    float64(c.st.LMTConflicts),
+		"morc_aliased_misses":   float64(c.st.AliasedMisses),
+		"morc_active_logs":      float64(len(c.actives)),
+	}
+}
+
 // --- LMT ------------------------------------------------------------
 //
 // The LMT is modelled as the paper's column-associative / hash-rehash

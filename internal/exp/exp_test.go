@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"morc/internal/sim"
 )
 
 // skipIfShort keeps multi-hundred-thousand-instruction simulations out
@@ -29,7 +31,7 @@ func tiny() Budget {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablate", "codecs", "ext", "fig2", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15",
-		"tab1", "tab4", "tab5", "tab7"}
+		"ratiots", "tab1", "tab4", "tab5", "tab7"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Fatalf("experiment %s not registered", id)
@@ -190,6 +192,35 @@ func TestFig15Runs(t *testing.T) {
 	// Merged sacrifices only limited ratio (paper: <0.5x for most).
 	if gmean.Values[1] < gmean.Values[0]*0.5 {
 		t.Fatalf("merged ratio %.2f collapsed vs %.2f", gmean.Values[1], gmean.Values[0])
+	}
+}
+
+func TestRatioTSExperiment(t *testing.T) {
+	skipIfShort(t)
+	e, _ := Get("ratiots")
+	b := tiny()
+	tables := e.Run(b)
+	if len(tables) != len(b.Workloads) {
+		t.Fatalf("ratiots returned %d tables for %d workloads", len(tables), len(b.Workloads))
+	}
+	for _, tab := range tables {
+		// The 150k window on a Measure/12 grid gives the full 12 epochs.
+		if len(tab.Rows) < ratioTSEpochs {
+			t.Fatalf("%s: %d epoch rows, want >= %d", tab.ID, len(tab.Rows), ratioTSEpochs)
+		}
+		if len(tab.Columns) != len(sim.ComparedSchemes())+1 {
+			t.Fatalf("%s: %d columns", tab.ID, len(tab.Columns))
+		}
+	}
+	// gcc: by the last epoch the MORC column (last) must show real
+	// compression while Uncompressed (first) stays at ~1x occupancy cap.
+	gcc := tables[0]
+	last := gcc.Rows[len(gcc.Rows)-1]
+	if last.Values[len(last.Values)-1] < 1.2 {
+		t.Fatalf("gcc MORC final-epoch ratio %.2f", last.Values[len(last.Values)-1])
+	}
+	if last.Values[0] > 1.01 {
+		t.Fatalf("gcc Uncompressed final-epoch ratio %.2f", last.Values[0])
 	}
 }
 

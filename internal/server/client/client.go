@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"morc/internal/server"
+	"morc/internal/telemetry"
 )
 
 // Client talks to one morcd instance.
@@ -179,6 +180,19 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (s
 			return v, ctx.Err()
 		}
 	}
+}
+
+// Timeseries fetches a job's telemetry series: the exact final series
+// for a finished job, or the epochs streamed so far for a running one.
+// The job must have been submitted with JobSpec.Telemetry set (or a
+// Telemetry config override); otherwise the server responds 404.
+func (c *Client) Timeseries(ctx context.Context, id string) (*telemetry.Series, error) {
+	var ts telemetry.Series
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/timeseries", nil, &ts)
+	if err != nil {
+		return nil, err
+	}
+	return &ts, nil
 }
 
 // Schemes lists the LLC organizations the server can simulate.

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	rtdebug "runtime/debug"
+	"sync"
+	"time"
+)
+
+// buildVersion reports the running binary's Go toolchain and main-module
+// version (best-effort: "unknown" outside module builds).
+func buildVersion() (goVers, modVers string) {
+	goVers = runtime.Version()
+	modVers = "unknown"
+	if bi, ok := rtdebug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		modVers = bi.Main.Version
+	}
+	return goVers, modVers
+}
+
+// publishDebugVars guards the process-global expvar registry, which
+// panics on duplicate names: tests build many Servers in one process.
+var publishDebugVars sync.Once
+
+// registerDebug mounts Go's runtime introspection endpoints on the API
+// mux: /debug/pprof/* (CPU/heap/goroutine profiles, execution traces)
+// and /debug/vars (expvar: cmdline, memstats, plus morcd build/uptime).
+// morcd is a long-running compute service, so "why is this job slow" is
+// answered with `go tool pprof http://host/debug/pprof/profile` instead
+// of a rebuild.
+func registerDebug(mux *http.ServeMux) {
+	publishDebugVars.Do(func() {
+		start := time.Now()
+		goVers, modVers := buildVersion()
+		build := expvar.NewMap("morcd_build")
+		build.Set("go_version", stringVar(goVers))
+		build.Set("module_version", stringVar(modVers))
+		expvar.Publish("morcd_uptime_seconds", expvar.Func(func() any {
+			return time.Since(start).Seconds()
+		}))
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+}
+
+// stringVar is a constant expvar string (expvar.String is mutable and
+// more than we need).
+type stringVar string
+
+func (s stringVar) String() string { return `"` + string(s) + `"` }

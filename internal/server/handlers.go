@@ -10,21 +10,25 @@ import (
 	"morc/internal/trace"
 )
 
-// Handler returns the HTTP API for the server.
+// Handler returns the HTTP API for the server, wrapped in the
+// structured-access-log middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeseries", s.handleTimeseries)
 	mux.HandleFunc("GET /v1/schemes", handleSchemes)
 	mux.HandleFunc("GET /v1/workloads", handleWorkloads)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	registerDebug(mux)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	})
-	return mux
+	return s.logRequests(mux)
 }
 
 // apiError is the JSON error envelope.

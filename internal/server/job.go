@@ -10,6 +10,7 @@ import (
 
 	"morc/internal/exp"
 	"morc/internal/sim"
+	"morc/internal/telemetry"
 	"morc/internal/trace"
 )
 
@@ -58,6 +59,14 @@ type JobSpec struct {
 	Workloads []string     `json:"workloads,omitempty"`
 	Schemes   []sim.Scheme `json:"schemes,omitempty"`
 
+	// Telemetry, when non-zero, enables per-epoch telemetry for
+	// workload/mix jobs with the given epoch interval in instructions
+	// (telemetry.DefaultEvery is the paper's 10M grid). Epochs stream
+	// live on GET /v1/jobs/{id}/events and the full series lands on the
+	// result (and GET /v1/jobs/{id}/timeseries). Off by default so job
+	// results stay byte-identical to plain sim runs.
+	Telemetry uint64 `json:"telemetry,omitempty"`
+
 	// Config holds sim.Config field overrides (JSON object, same field
 	// names as sim.Config) applied on top of the defaults and budget —
 	// e.g. {"BWPerCore": 1.6e9, "MeasureInstr": 500000}. Only provided
@@ -94,6 +103,9 @@ func (sp JobSpec) Validate() error {
 	case "", "quick", "full":
 	default:
 		return fmt.Errorf("unknown budget %q (want quick or full)", sp.Budget)
+	}
+	if sp.Telemetry > 0 && sp.Experiment != "" {
+		return fmt.Errorf("telemetry streaming is only available for workload and mix jobs")
 	}
 	if len(sp.Config) > 0 {
 		cfg := sim.DefaultConfig()
@@ -133,6 +145,9 @@ func (sp JobSpec) simConfig() (sim.Config, error) {
 	cfg.MeasureInstr = b.Measure
 	cfg.SampleEvery = b.SampleEvery
 	cfg.Scheme = sp.Scheme
+	if sp.Telemetry > 0 {
+		cfg.Telemetry.Every = sp.Telemetry
+	}
 	if len(sp.Config) > 0 {
 		if err := strictUnmarshal(sp.Config, &cfg); err != nil {
 			return cfg, err
@@ -140,6 +155,16 @@ func (sp JobSpec) simConfig() (sim.Config, error) {
 	}
 	return cfg, nil
 }
+
+// maxBufferedEpochs bounds the per-job live-epoch replay buffer; beyond
+// it the oldest epochs are dropped (late subscribers miss them, but the
+// exact full series still arrives on the finished job's Result).
+const maxBufferedEpochs = 1024
+
+// subBuffer is each SSE subscriber's channel capacity. A subscriber that
+// falls further behind loses its oldest epochs rather than stalling the
+// simulation loop.
+const subBuffer = 64
 
 // Job is one tracked unit of work. All mutable state is guarded by mu;
 // done is closed exactly once when the job reaches a terminal state.
@@ -157,6 +182,12 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	cancel   context.CancelFunc
+
+	// Live telemetry: a bounded replay buffer plus per-subscriber
+	// channels, fed synchronously from the simulation loop.
+	epochs  []telemetry.Epoch
+	subs    map[int]chan telemetry.Epoch
+	nextSub int
 
 	done chan struct{}
 }
@@ -189,6 +220,79 @@ func (j *Job) setProgress(done, total uint64) {
 	j.mu.Lock()
 	j.progress = float64(done) / float64(total)
 	j.mu.Unlock()
+}
+
+// publishEpoch buffers one completed telemetry epoch and fans it out to
+// subscribers. It is the System.OnEpoch hook, called synchronously from
+// the simulation loop at epoch boundaries, so everything here is
+// non-blocking: the replay buffer and every subscriber channel drop
+// their oldest entry instead of growing or stalling.
+func (j *Job) publishEpoch(e telemetry.Epoch) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.epochs) >= maxBufferedEpochs {
+		j.epochs = j.epochs[1:]
+	}
+	j.epochs = append(j.epochs, e)
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+			// Full: evict the subscriber's oldest epoch. We hold mu, and
+			// publishEpoch is the only sender, so the retry cannot race.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- e:
+			default:
+			}
+		}
+	}
+}
+
+// subscribeEpochs registers a live-epoch subscriber: it returns a
+// snapshot of the epochs buffered so far (for replay), a channel carrying
+// subsequent ones, and a cancel func that must be called to unregister.
+func (j *Job) subscribeEpochs() (history []telemetry.Epoch, ch <-chan telemetry.Epoch, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([]telemetry.Epoch(nil), j.epochs...)
+	c := make(chan telemetry.Epoch, subBuffer)
+	if j.subs == nil {
+		j.subs = map[int]chan telemetry.Epoch{}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = c
+	return history, c, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
+}
+
+// timeseries returns the job's telemetry series: the exact (possibly
+// compacted) final series once the job is done, or a snapshot of the
+// epochs streamed so far while it runs. ok is false when the job records
+// no telemetry at all.
+func (j *Job) timeseries() (ts *telemetry.Series, ok bool) {
+	cfg, err := j.Spec.simConfig()
+	enabled := err == nil && j.Spec.Experiment == "" && cfg.Telemetry.Enabled()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result != nil && j.result.Telemetry != nil {
+		return j.result.Telemetry, true
+	}
+	if !enabled {
+		return nil, false
+	}
+	return &telemetry.Series{
+		Scheme: j.Spec.Scheme.String(),
+		Every:  cfg.Telemetry.Every,
+		Epochs: append([]telemetry.Epoch(nil), j.epochs...),
+	}, true
 }
 
 // start transitions queued → running, attaching the cancel func. Returns

@@ -3,8 +3,10 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // durationBuckets are the wall-time histogram bounds in seconds. Quick
@@ -32,9 +34,17 @@ func (h *histogram) observe(v float64) {
 	h.count++
 }
 
+// maxSchemeLabels caps the cardinality of the per-scheme wall-time
+// histogram. The label is derived from job specs (scheme names and
+// experiment ids), so it is client-influenced; once the cap is reached,
+// new labels aggregate under "other" instead of growing the exposition
+// without bound.
+const maxSchemeLabels = 32
+
 // metrics aggregates server counters for the /metrics endpoint.
 type metrics struct {
 	mu          sync.Mutex
+	start       time.Time
 	submitted   uint64
 	rejected    uint64
 	done        uint64
@@ -45,7 +55,7 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{byScheme: map[string]*histogram{}}
+	return &metrics{start: time.Now(), byScheme: map[string]*histogram{}}
 }
 
 func (m *metrics) jobSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
@@ -73,8 +83,13 @@ func (m *metrics) jobFinished(st Status, scheme string, seconds float64) {
 	if seconds >= 0 && scheme != "" {
 		h := m.byScheme[scheme]
 		if h == nil {
-			h = &histogram{}
-			m.byScheme[scheme] = h
+			if len(m.byScheme) >= maxSchemeLabels {
+				scheme = "other"
+			}
+			if h = m.byScheme[scheme]; h == nil {
+				h = &histogram{}
+				m.byScheme[scheme] = h
+			}
 		}
 		h.observe(seconds)
 	}
@@ -95,6 +110,25 @@ func (m *metrics) snapshot() counters {
 func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	goVers, modVers := buildVersion()
+	fmt.Fprintln(w, "# HELP morcd_build_info Build metadata; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE morcd_build_info gauge")
+	fmt.Fprintf(w, "morcd_build_info{go_version=%q,module_version=%q} 1\n", goVers, modVers)
+
+	fmt.Fprintln(w, "# HELP morcd_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE morcd_uptime_seconds gauge")
+	fmt.Fprintf(w, "morcd_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintln(w, "# HELP morcd_go_goroutines Goroutines currently live in the process.")
+	fmt.Fprintln(w, "# TYPE morcd_go_goroutines gauge")
+	fmt.Fprintf(w, "morcd_go_goroutines %d\n", runtime.NumGoroutine())
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintln(w, "# HELP morcd_go_heap_bytes Bytes of allocated heap objects.")
+	fmt.Fprintln(w, "# TYPE morcd_go_heap_bytes gauge")
+	fmt.Fprintf(w, "morcd_go_heap_bytes %d\n", ms.HeapAlloc)
 
 	fmt.Fprintln(w, "# HELP morcd_jobs_submitted_total Jobs accepted onto the queue.")
 	fmt.Fprintln(w, "# TYPE morcd_jobs_submitted_total counter")

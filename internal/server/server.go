@@ -6,22 +6,29 @@
 //
 // API:
 //
-//	POST   /v1/jobs       submit a JobSpec  → 202 JobView (429 when the queue is full)
-//	GET    /v1/jobs       list all jobs     → {"jobs": [JobView...]}
-//	GET    /v1/jobs/{id}  job status/result → JobView
-//	DELETE /v1/jobs/{id}  cancel            → JobView
-//	GET    /v1/schemes    LLC organizations the simulator implements
-//	GET    /v1/workloads  workloads, mixes, and experiments that can run
-//	GET    /metrics       Prometheus text exposition
-//	GET    /healthz       liveness
+//	POST   /v1/jobs                  submit a JobSpec  → 202 JobView (429 when the queue is full)
+//	GET    /v1/jobs                  list all jobs     → {"jobs": [JobView...]}
+//	GET    /v1/jobs/{id}             job status/result → JobView
+//	DELETE /v1/jobs/{id}             cancel            → JobView
+//	GET    /v1/jobs/{id}/events      SSE stream: epoch/progress/done events
+//	GET    /v1/jobs/{id}/timeseries  telemetry series (JSON, ?format=ndjson)
+//	GET    /v1/schemes               LLC organizations the simulator implements
+//	GET    /v1/workloads             workloads, mixes, and experiments that can run
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /debug/pprof/             CPU/heap/goroutine profiles, execution traces
+//	GET    /debug/vars               expvar (build info, uptime, memstats)
+//	GET    /healthz                  liveness
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
+	"time"
 
 	"morc/internal/exp"
 	"morc/internal/sim"
@@ -35,6 +42,13 @@ type Config struct {
 	// (default 64). Submissions beyond it are rejected with ErrQueueFull
 	// so callers see backpressure instead of unbounded memory growth.
 	QueueDepth int
+	// Logger receives structured request and job-lifecycle logs
+	// (default: discard, so embedding the server in tests stays quiet;
+	// cmd/morcd passes a real handler).
+	Logger *slog.Logger
+	// ProgressInterval is the cadence of "progress" events on the SSE
+	// stream (default 250ms).
+	ProgressInterval time.Duration
 }
 
 // Submission errors.
@@ -45,12 +59,14 @@ var (
 
 // Server owns the job table, the bounded queue, and the worker pool.
 type Server struct {
-	workers int
-	queue   chan *Job
-	metrics *metrics
-	baseCtx context.Context
-	stopAll context.CancelFunc
-	wg      sync.WaitGroup
+	workers       int
+	queue         chan *Job
+	metrics       *metrics
+	log           *slog.Logger
+	progressEvery time.Duration
+	baseCtx       context.Context
+	stopAll       context.CancelFunc
+	wg            sync.WaitGroup
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -67,14 +83,19 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		workers: cfg.Workers,
-		queue:   make(chan *Job, cfg.QueueDepth),
-		metrics: newMetrics(),
-		baseCtx: ctx,
-		stopAll: cancel,
-		jobs:    map[string]*Job{},
+		workers:       cfg.Workers,
+		queue:         make(chan *Job, cfg.QueueDepth),
+		metrics:       newMetrics(),
+		log:           cfg.Logger,
+		progressEvery: cfg.ProgressInterval,
+		baseCtx:       ctx,
+		stopAll:       cancel,
+		jobs:          map[string]*Job{},
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -106,6 +127,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.order = append(s.order, job.ID)
 	s.mu.Unlock()
 	s.metrics.jobSubmitted()
+	s.log.Info("job queued", "job", job.ID, "kind", schemeLabel(spec),
+		"workload", spec.Workload, "mix", spec.Mix, "telemetry", spec.Telemetry)
 	return job, nil
 }
 
@@ -165,11 +188,14 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.metrics.workerBusy(1)
 	defer s.metrics.workerBusy(-1)
+	s.log.Info("job started", "job", j.ID, "kind", schemeLabel(j.Spec))
 
 	st, res, tables, errMsg := s.execute(ctx, j)
 	j.finish(st, res, tables, errMsg)
 	v := j.View()
 	s.metrics.jobFinished(st, schemeLabel(j.Spec), v.DurationSec)
+	s.log.Info("job finished", "job", j.ID, "status", string(st),
+		"duration_sec", v.DurationSec, "error", errMsg)
 }
 
 // schemeLabel is the metrics label for a job's wall-time histogram.
@@ -215,6 +241,9 @@ func (s *Server) execute(ctx context.Context, j *Job) (st Status, res *sim.Resul
 		return StatusFailed, nil, nil, err.Error()
 	}
 	sys.OnProgress = j.setProgress
+	if cfg.Telemetry.Enabled() {
+		sys.OnEpoch = j.publishEpoch
+	}
 	r, err := sys.RunCtx(ctx)
 	switch {
 	case errors.Is(err, context.Canceled):

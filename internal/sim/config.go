@@ -18,6 +18,7 @@ import (
 	"morc/internal/baseline"
 	"morc/internal/cache"
 	"morc/internal/core"
+	"morc/internal/telemetry"
 )
 
 // Scheme selects the LLC organization.
@@ -93,6 +94,13 @@ type Config struct {
 	WarmupInstr  uint64 // per core
 	MeasureInstr uint64 // per core
 	SampleEvery  uint64 // compression-ratio sampling interval (instructions)
+
+	// Telemetry, when enabled (Every > 0), records a per-epoch time
+	// series of the measurement window onto Result.Telemetry; see
+	// morc/internal/telemetry. The paper's grid is 10M instructions
+	// (telemetry.DefaultEvery). Disabled by default: the hot loop then
+	// pays only a nil check.
+	Telemetry telemetry.Config
 
 	// MORCConfig overrides the MORC configuration (nil = paper default
 	// for the LLC capacity). Used by the sensitivity studies.

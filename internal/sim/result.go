@@ -4,6 +4,7 @@ import (
 	"morc/internal/cache"
 	"morc/internal/energy"
 	"morc/internal/stats"
+	"morc/internal/telemetry"
 )
 
 // CoreResult summarizes one core's measurement window.
@@ -20,6 +21,12 @@ type CoreResult struct {
 	// ThroughputIPC is the estimated multithreaded (CGMT) throughput:
 	// instructions over compute cycles plus only the un-hideable stalls.
 	ThroughputIPC float64
+	// MissLatency is the distribution of this core's L1-miss service
+	// latencies in core cycles — the system-level analogue of Figure 14's
+	// per-hit decompression-latency distribution. AvgMissLatency is its
+	// mean.
+	MissLatency    *stats.Histogram `json:"MissLatency,omitempty"`
+	AvgMissLatency float64
 }
 
 // Result is one simulation's outcome.
@@ -44,6 +51,11 @@ type Result struct {
 	Energy energy.Breakdown
 	// LLCStats is the window's LLC counter delta.
 	LLCStats cache.Stats
+	// Telemetry is the per-epoch time series of the measurement window,
+	// recorded when Config.Telemetry is enabled (nil otherwise). Its
+	// per-epoch deltas sum to this Result's window totals and its
+	// sample-weighted mean ratio reproduces CompRatio.
+	Telemetry *telemetry.Series `json:"telemetry,omitempty"`
 }
 
 // collect computes the Result after the measurement window.
@@ -71,14 +83,21 @@ func (s *System) collect() Result {
 		}
 		// CGMT throughput (§4): each miss is overlapped with the other
 		// threads' compute; only latency beyond (threads-1)*AvgGap stalls
-		// the core.
+		// the core. Computed piecewise from the online latency histogram:
+		// exact for buckets entirely above or below the hideable latency,
+		// mean-approximated only for the single straddling bucket.
 		hidden := float64(s.cfg.Threads-1) * cr.AvgGap
 		var residual uint64
-		for _, lat := range c.missLats {
-			if f := float64(lat); f > hidden {
-				residual += uint64(f - hidden)
+		for b, n := range c.missLat.Counts {
+			if n == 0 {
+				continue
+			}
+			if excess := c.missLat.Sums[b] - hidden*float64(n); excess > 0 {
+				residual += uint64(excess)
 			}
 		}
+		cr.MissLatency = c.missLat
+		cr.AvgMissLatency = c.missLat.Mean()
 		tcyc := compute + residual
 		if tcyc > 0 {
 			cr.ThroughputIPC = float64(ins) / float64(tcyc)
@@ -115,6 +134,13 @@ func (s *System) collect() Result {
 	}
 
 	res.Energy = s.computeEnergy(res)
+	if s.tel != nil {
+		var total uint64
+		for _, c := range s.cores {
+			total += c.instr
+		}
+		res.Telemetry = s.tel.Finish(s.telemetrySample(total - s.sampleAt))
+	}
 	return res
 }
 

@@ -8,8 +8,14 @@ import (
 	"morc/internal/compress/cpack"
 	"morc/internal/mem"
 	"morc/internal/stats"
+	"morc/internal/telemetry"
 	"morc/internal/trace"
 )
+
+// missLatBounds are the per-core miss-latency histogram buckets in core
+// cycles: LLC hits land in the first few, DRAM accesses around 100-200,
+// and bandwidth-wall queueing pushes into the thousands.
+var missLatBounds = []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
 
 // coreState is one in-order core with its private L1 and workload.
 type coreState struct {
@@ -23,10 +29,15 @@ type coreState struct {
 	target uint64 // run until instr reaches this
 
 	// measurement-window counters
-	refs      uint64
-	l1Misses  uint64
-	stall     uint64   // cycles blocked on L1 misses
-	missLats  []uint32 // per-miss service latency (throughput model)
+	refs     uint64
+	l1Misses uint64
+	stall    uint64 // cycles blocked on L1 misses
+	// missLat is the online per-miss service-latency distribution
+	// (count, sum, and per-bucket sums), replacing the old unbounded
+	// one-entry-per-miss slice: the CGMT residual is computed piecewise
+	// from the buckets and the histogram itself is the per-core Figure 14
+	// metric on CoreResult.
+	missLat   *stats.Histogram
 	startCyc  uint64
 	startInst uint64
 }
@@ -43,12 +54,21 @@ type System struct {
 	llcSnap   cache.Stats
 	memSnap   mem.Stats
 	measuring bool
+	tel       *telemetry.Recorder
 
 	// OnProgress, when set, is called at most every checkEvery accesses
-	// with the instructions retired so far and the total target across
-	// warmup and measurement (all cores). Used by morcd to report job
-	// progress; must be cheap and must not call back into the System.
+	// with the instructions retired so far (clamped to the total) and the
+	// total target across warmup and measurement (all cores), and exactly
+	// once with (total, total) when the run completes. Used by morcd to
+	// report job progress; must be cheap and must not call back into the
+	// System.
 	OnProgress func(done, total uint64)
+
+	// OnEpoch, when set before RunCtx, receives each completed telemetry
+	// epoch synchronously from the simulation loop (Config.Telemetry must
+	// be enabled). morcd uses it to stream epochs to SSE subscribers; it
+	// must be cheap and must not call back into the System.
+	OnEpoch func(telemetry.Epoch)
 }
 
 // checkEvery is how many accesses pass between context-cancellation and
@@ -126,7 +146,7 @@ func (s *System) block(c *coreState, lat uint64) {
 	c.stall += lat
 	c.l1Misses++
 	if s.measuring {
-		c.missLats = append(c.missLats, uint32(lat))
+		c.missLat.Add(float64(lat))
 	}
 }
 
@@ -218,7 +238,14 @@ func (s *System) run(ctx context.Context) error {
 				for _, c := range s.cores {
 					instr += c.instr
 				}
-				s.OnProgress(instr, s.totalTarget())
+				// Cores may overshoot their per-core target by one
+				// access's instruction count; clamp so progress never
+				// exceeds (and later has to back off from) the total.
+				total := s.totalTarget()
+				if instr > total {
+					instr = total
+				}
+				s.OnProgress(instr, total)
 			}
 		}
 		if s.measuring {
@@ -226,10 +253,20 @@ func (s *System) run(ctx context.Context) error {
 			for _, c := range s.cores {
 				total += c.instr
 			}
+			meas := total - s.sampleAt
 			// Ratio() walks the whole cache; only compute it when the
 			// sampler will actually record.
-			if s.ratio.Due(total - s.sampleAt) {
-				s.ratio.Tick(total-s.sampleAt, s.llc.Ratio())
+			if s.ratio.Due(meas) {
+				r := s.llc.Ratio()
+				s.ratio.Tick(meas, r)
+				if s.tel != nil {
+					s.tel.ObserveRatio(r, s.ratio.Count())
+				}
+			}
+			// The telemetry epoch hook rides the same accounting: one nil
+			// check when disabled, one comparison between boundaries.
+			if s.tel != nil && s.tel.Due(meas) {
+				s.tel.Record(s.telemetrySample(meas))
 			}
 		}
 	}
@@ -275,13 +312,47 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 		c.refs = 0
 		c.l1Misses = 0
 		c.stall = 0
+		c.missLat = stats.NewHistogram(missLatBounds)
 		sampleBase += c.instr
 	}
 	s.sampleAt = sampleBase
 	s.measuring = true
+	if s.cfg.Telemetry.Enabled() {
+		s.tel = telemetry.NewRecorder(s.cfg.Telemetry, s.cfg.Scheme.String(), s.OnEpoch)
+		s.tel.Begin(s.telemetrySample(0))
+	}
 	if err := s.run(ctx); err != nil {
 		return Result{}, err
 	}
-	s.ratio.ForceSample(s.llc.Ratio())
-	return s.collect(), nil
+	ratio := s.llc.Ratio()
+	s.ratio.ForceSample(ratio)
+	if s.tel != nil {
+		s.tel.ObserveRatio(ratio, s.ratio.Count())
+	}
+	res := s.collect()
+	if s.OnProgress != nil {
+		s.OnProgress(s.totalTarget(), s.totalTarget())
+	}
+	return res, nil
+}
+
+// telemetrySample snapshots every counter the telemetry layer records,
+// at measurement-window instruction clock meas. Only called at epoch
+// boundaries, so the full-cache Ratio walk and the Probed gauges are off
+// the per-access path.
+func (s *System) telemetrySample(meas uint64) telemetry.Sample {
+	smp := telemetry.Sample{
+		Instr: meas,
+		LLC:   *s.llc.Stats(),
+		Mem:   *s.memctl.Stats(),
+		Ratio: s.llc.Ratio(),
+	}
+	smp.Cores = make([]telemetry.CoreSample, len(s.cores))
+	for i, c := range s.cores {
+		smp.Cores[i] = telemetry.CoreSample{Instr: c.instr, Cycles: c.now, Stall: c.stall}
+	}
+	if p, ok := s.llc.(cache.Probed); ok {
+		smp.Probes = p.Probes()
+	}
+	return smp
 }

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"morc/internal/telemetry"
+)
+
+// telCfg is quickCfg with telemetry on a grid that yields several epochs
+// inside the 300k-instruction measurement window.
+func telCfg(s Scheme) Config {
+	cfg := quickCfg(s)
+	cfg.Telemetry = telemetry.Config{Every: 60_000}
+	return cfg
+}
+
+func TestOnProgressMonotonicAndExact(t *testing.T) {
+	cfg := quickCfg(MORC)
+	s, err := NewSingle("gcc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.WarmupInstr + cfg.MeasureInstr
+	var calls int
+	var prev, last uint64
+	s.OnProgress = func(done, total uint64) {
+		calls++
+		if total != want {
+			t.Fatalf("progress total %d, want %d", total, want)
+		}
+		if done > total {
+			t.Fatalf("progress done %d exceeds total %d", done, total)
+		}
+		if done < prev {
+			t.Fatalf("progress went backwards: %d after %d", done, prev)
+		}
+		prev, last = done, done
+	}
+	s.Run()
+	if calls == 0 {
+		t.Fatal("OnProgress never called")
+	}
+	if last != want {
+		t.Fatalf("final progress %d, want exactly %d", last, want)
+	}
+}
+
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	res := RunSingle("gcc", quickCfg(MORC))
+	if res.Telemetry != nil {
+		t.Fatal("telemetry recorded without being enabled")
+	}
+	if b, _ := json.Marshal(res); string(b) == "" || jsonHasKey(b, "telemetry") {
+		t.Fatal("disabled run serializes a telemetry field")
+	}
+}
+
+func jsonHasKey(b []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+// TestTelemetryDoesNotPerturbResults: enabling telemetry must be a pure
+// observer — every non-telemetry field stays byte-identical.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	plain := RunSingle("omnetpp", quickCfg(SC2))
+	traced := RunSingle("omnetpp", telCfg(SC2))
+	if traced.Telemetry == nil {
+		t.Fatal("no telemetry recorded")
+	}
+	traced.Telemetry = nil
+	pb, _ := json.Marshal(plain)
+	tb, _ := json.Marshal(traced)
+	if string(pb) != string(tb) {
+		t.Fatalf("telemetry perturbed the run:\n%s\n%s", pb, tb)
+	}
+}
+
+func TestTelemetryEpochInvariants(t *testing.T) {
+	skipIfShort(t)
+	for _, sch := range []Scheme{Uncompressed, SC2, MORC, Skewed} {
+		cfg := telCfg(sch)
+		var streamed []telemetry.Epoch
+		s, err := NewSingle("gcc", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.OnEpoch = func(e telemetry.Epoch) { streamed = append(streamed, e) }
+		res := s.Run()
+
+		ts := res.Telemetry
+		if ts == nil {
+			t.Fatalf("%v: no telemetry", sch)
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+		if ts.Scheme != sch.String() {
+			t.Errorf("%v: series labeled %q", sch, ts.Scheme)
+		}
+		if want := int(cfg.MeasureInstr / cfg.Telemetry.Every); len(ts.Epochs) < want {
+			t.Errorf("%v: %d epochs for a %d-instruction window on a %d grid",
+				sch, len(ts.Epochs), cfg.MeasureInstr, cfg.Telemetry.Every)
+		}
+		if len(streamed) != len(ts.Epochs) {
+			t.Errorf("%v: streamed %d epochs, series holds %d", sch, len(streamed), len(ts.Epochs))
+		}
+
+		// The trajectory must conserve the window totals the Result reports.
+		tot := ts.Totals()
+		if tot.LLCReads != res.LLCStats.Reads || tot.LLCHits != res.LLCStats.Hits ||
+			tot.Fills != res.LLCStats.Fills || tot.WriteBacks != res.LLCStats.WriteBacks {
+			t.Errorf("%v: epoch sums %+v != window LLC stats %+v", sch, tot, res.LLCStats)
+		}
+		if got := tot.MemReadBytes + tot.MemWriteBytes; got != res.MemBytes {
+			t.Errorf("%v: epoch memory bytes %d != window %d", sch, got, res.MemBytes)
+		}
+		if tot.Instr != res.Cores[0].Instructions {
+			t.Errorf("%v: epoch instructions %d != window %d", sch, tot.Instr, res.Cores[0].Instructions)
+		}
+
+		// The sample-weighted epoch ratio reproduces the headline CompRatio.
+		if got := ts.MeanRatio(); math.Abs(got-res.CompRatio) > 1e-6 {
+			t.Errorf("%v: series mean ratio %v != CompRatio %v", sch, got, res.CompRatio)
+		}
+
+		// Compressed schemes publish scheme-specific probes.
+		if sch != Uncompressed {
+			last := ts.Epochs[len(ts.Epochs)-1]
+			if len(last.Probes) == 0 {
+				t.Errorf("%v: no probes on final epoch", sch)
+			}
+		}
+	}
+}
+
+func TestTelemetryMORCProbes(t *testing.T) {
+	skipIfShort(t)
+	res := RunSingle("gcc", telCfg(MORC))
+	last := res.Telemetry.Epochs[len(res.Telemetry.Epochs)-1]
+	for _, key := range []string{"morc_log_occupancy", "morc_invalid_fraction", "morc_active_logs"} {
+		if _, ok := last.Probes[key]; !ok {
+			t.Errorf("missing MORC probe %q (have %v)", key, last.Probes)
+		}
+	}
+	if occ := last.Probes["morc_log_occupancy"]; occ <= 0 || occ > 1 {
+		t.Errorf("morc_log_occupancy %v out of (0,1]", occ)
+	}
+}
+
+func TestMissLatencyHistogram(t *testing.T) {
+	res := RunSingle("mcf", quickCfg(MORC))
+	c := res.Cores[0]
+	if c.MissLatency == nil {
+		t.Fatal("no miss-latency histogram")
+	}
+	if c.MissLatency.N != c.L1Misses {
+		t.Fatalf("histogram holds %d samples for %d misses", c.MissLatency.N, c.L1Misses)
+	}
+	if c.AvgMissLatency < float64(DefaultConfig().LLCLatency) {
+		t.Fatalf("average miss latency %.1f below the LLC base latency", c.AvgMissLatency)
+	}
+	// Stall cycles are exactly the summed miss latencies.
+	if got := c.MissLatency.Sum; got != float64(c.StallCycles) {
+		t.Fatalf("histogram sum %v != stall cycles %d", got, c.StallCycles)
+	}
+}

@@ -95,10 +95,15 @@ func Percentile(xs []float64, p float64) float64 {
 // Histogram is a fixed-bucket histogram over float64 samples. Bucket i
 // covers [Bounds[i-1], Bounds[i]); the first bucket is (-inf, Bounds[0])
 // and a final implicit overflow bucket covers [Bounds[len-1], +inf).
+// Alongside counts it keeps per-bucket sums, so online consumers can
+// recover per-bucket means (and piecewise aggregates like the CGMT
+// residual) without retaining the raw samples.
 type Histogram struct {
 	Bounds []float64 // ascending upper bounds
 	Counts []uint64  // len(Bounds)+1 buckets
+	Sums   []float64 // per-bucket sample sums, same shape as Counts
 	N      uint64
+	Sum    float64 // sum of all samples
 }
 
 // NewHistogram creates a histogram with the given ascending bucket bounds.
@@ -111,6 +116,7 @@ func NewHistogram(bounds []float64) *Histogram {
 	return &Histogram{
 		Bounds: append([]float64(nil), bounds...),
 		Counts: make([]uint64, len(bounds)+1),
+		Sums:   make([]float64, len(bounds)+1),
 	}
 }
 
@@ -123,7 +129,17 @@ func (h *Histogram) Add(x float64) {
 		i++
 	}
 	h.Counts[i]++
+	h.Sums[i] += x
 	h.N++
+	h.Sum += x
+}
+
+// Mean returns the mean of all samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
 }
 
 // Fraction returns each bucket's share of all samples (empty histogram
