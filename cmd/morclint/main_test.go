@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"morc/internal/analysis"
+)
+
+// fixture returns the absolute path of an analysis fixture package, so
+// the CLI can be pointed at it from this package's working directory.
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "..", "internal", "analysis", "testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"detrand", "lockhold", "ctxleak", "invariants", "boundedgrowth"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing pass %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownPass(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-passes", "nosuchpass"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown pass") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+func TestFixtureFindingsExitNonzero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{fixture(t, "detrand")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[detrand]") {
+		t.Errorf("output missing detrand diagnostics:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", fixture(t, "ctxleak")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics decoded")
+	}
+	for _, d := range diags {
+		if d.Pass != "ctxleak" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestCleanPackageExitsZeroWithEmptyJSONArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", fixture(t, "invariants_tested")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("JSON output = %q, want []", got)
+	}
+}
+
+func TestPassFilter(t *testing.T) {
+	// The detrand fixture is only in scope for detrand; running just the
+	// lockhold pass over it must be clean.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-passes", "lockhold", fixture(t, "detrand")}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxLeak flags context cancel funcs that can escape without ever being
+// called. Every context.WithCancel / WithTimeout / WithDeadline call
+// returns a cancel func that must release the context's resources; the
+// safe patterns are deferring it (`defer cancel()`) or storing it
+// somewhere with a longer lifetime (a struct field, a call argument, a
+// return value). A cancel func that is only called on some code paths —
+// or discarded outright as `_` — leaks a goroutine and a timer on the
+// paths that skip it.
+type CtxLeak struct{}
+
+func (*CtxLeak) Name() string { return "ctxleak" }
+func (*CtxLeak) Doc() string {
+	return "require context cancel funcs to be deferred or stored, never discarded or left to conditional calls"
+}
+
+func (*CtxLeak) Scope(prog *Program, u *Unit) bool {
+	return true // cheap, and leaks hurt everywhere
+}
+
+// cancelFuncs are the context constructors whose last result must be
+// released.
+var cancelFuncs = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+func (c *CtxLeak) Run(prog *Program, u *Unit) []Finding {
+	var out []Finding
+	eachFuncDecl(u, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(u.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !cancelFuncs[fn.Name()] {
+				return true
+			}
+			cancelID, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if cancelID.Name == "_" {
+				out = append(out, Finding{Pos: cancelID.Pos(), Message: fmt.Sprintf(
+					"the cancel func from context.%s is discarded; the context's resources are never released", fn.Name())})
+				return true
+			}
+			obj := usedObject(u.Info, cancelID)
+			if obj == nil {
+				return true
+			}
+			if !cancelHandled(u.Info, fd.Body, obj, cancelID) {
+				out = append(out, Finding{Pos: cancelID.Pos(), Message: fmt.Sprintf(
+					"the cancel func from context.%s is neither deferred nor stored; a panic or early return leaks the context (defer %s())",
+					fn.Name(), cancelID.Name)})
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// cancelHandled reports whether the cancel object is deferred or escapes
+// (stored in a field or variable, passed to a call, returned, or sent on
+// a channel) anywhere in the function body. Direct calls alone do not
+// count: they only run on the paths that reach them.
+func cancelHandled(info *types.Info, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	handled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer cancel() — or defer cleanup(cancel), or
+			// defer func() { ...; cancel() }().
+			if id, ok := ast.Unparen(n.Call.Fun).(*ast.Ident); ok && usedObject(info, id) == obj {
+				handled = true
+				return false
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok && refersTo(info, lit, obj) {
+				handled = true
+				return false
+			}
+			for _, arg := range n.Call.Args {
+				if refersTo(info, arg, obj) {
+					handled = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			// cancel passed as an argument (j.start(cancel)).
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && id != def && usedObject(info, id) == obj {
+					handled = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// cancel stored: j.cancel = cancel (appearing on the RHS of an
+			// assignment other than its own definition).
+			for _, rhs := range n.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && id != def && usedObject(info, id) == obj {
+					handled = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok && id != def && usedObject(info, id) == obj {
+					handled = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if refersTo(info, res, obj) {
+					handled = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if refersTo(info, n.Value, obj) {
+				handled = true
+				return false
+			}
+		}
+		return true
+	})
+	return handled
+}
+
+// refersTo reports whether expr mentions obj.
+func refersTo(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && usedObject(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetRand enforces the deterministic-replay contract in the simulation
+// core: the packages that produce sim.Result, telemetry series, and
+// golden JSON must not consult wall-clock time or math/rand's global
+// state, and must not let Go's randomized map iteration order leak into
+// anything they emit. The pass flags
+//
+//   - references to math/rand (and math/rand/v2) package-level functions
+//     that read or mutate the shared global generator — seeded *rand.Rand
+//     values and internal/rng are fine;
+//   - calls to time.Now / time.Since / time.Until;
+//   - range-over-map loops whose bodies have order-sensitive effects:
+//     appending to an outer slice (unless the slice is sorted later in
+//     the same block), plain assignments or floating-point accumulation
+//     into outer variables, returns derived from the loop variables,
+//     channel sends, formatted output, and calls to methods that can
+//     mutate outer state. Writes keyed by the loop key (m[k] = v,
+//     other[k] = v, delete(m, k)) and integer accumulation commute
+//     across iteration orders and are allowed.
+type DetRand struct{}
+
+// detrandPkgs is the deterministic core: every package whose behaviour
+// feeds sim.Result, telemetry, or the golden files.
+var detrandPkgs = []string{
+	"internal/sim", "internal/core", "internal/cache", "internal/compress",
+	"internal/baseline", "internal/mem", "internal/trace", "internal/energy",
+	"internal/stats", "internal/telemetry", "internal/exp", "internal/check",
+	"internal/rng",
+}
+
+func (*DetRand) Name() string { return "detrand" }
+func (*DetRand) Doc() string {
+	return "forbid wall-clock, global math/rand, and order-sensitive map iteration in the deterministic simulation core"
+}
+
+func (*DetRand) Scope(prog *Program, u *Unit) bool {
+	return u.Fixture() == "detrand" || u.InPaths(prog, detrandPkgs...)
+}
+
+// randConstructors are the math/rand names that only build seeded local
+// generators (deterministic and allowed); every other package-level
+// function touches the global generator.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (d *DetRand) Run(prog *Program, u *Unit) []Finding {
+	var out []Finding
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := usedObject(u.Info, id).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil {
+				return true // methods on *rand.Rand etc. are seeded and fine
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					out = append(out, Finding{Pos: id.Pos(), Message: fmt.Sprintf(
+						"%s.%s uses math/rand's global generator; deterministic replay requires internal/rng (or a seeded *rand.Rand)",
+						fn.Pkg().Name(), fn.Name())})
+				}
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					out = append(out, Finding{Pos: id.Pos(), Message: fmt.Sprintf(
+						"time.%s in the deterministic core: wall-clock values must never influence simulation results",
+						fn.Name())})
+				}
+			}
+			return true
+		})
+		out = append(out, d.checkMapRanges(u, f)...)
+	}
+	return out
+}
+
+// checkMapRanges finds every range-over-map statement in the file along
+// with the statement list that follows it (for the append-then-sort
+// idiom) and analyzes its body for order-sensitive effects.
+func (d *DetRand) checkMapRanges(u *Unit, f *ast.File) []Finding {
+	var out []Finding
+	analyze := func(list []ast.Stmt) {
+		for i, st := range list {
+			for {
+				if ls, ok := st.(*ast.LabeledStmt); ok {
+					st = ls.Stmt
+					continue
+				}
+				break
+			}
+			rs, ok := st.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			tv, ok := u.Info.Types[rs.X]
+			if !ok {
+				continue
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				continue
+			}
+			out = append(out, d.checkOneRange(u, rs, list[i+1:])...)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			analyze(n.List)
+		case *ast.CaseClause:
+			analyze(n.Body)
+		case *ast.CommClause:
+			analyze(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// checkOneRange analyzes one map-range body. rest is the statement list
+// following the range in its enclosing block, consulted to recognize the
+// collect-then-sort idiom.
+func (d *DetRand) checkOneRange(u *Unit, rs *ast.RangeStmt, rest []ast.Stmt) []Finding {
+	info := u.Info
+
+	// Loop variables (k, v) and the root object of the ranged map.
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := usedObject(info, id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	var rangedObj types.Object
+	if id := baseIdent(rs.X); id != nil {
+		rangedObj = usedObject(info, id)
+	}
+
+	outer := func(obj types.Object) bool {
+		return obj != nil && !declaredWithin(obj, rs)
+	}
+	usesLoopVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[usedObject(info, id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	isIntegerish := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsInteger|types.IsBoolean|types.IsString) != 0 &&
+			b.Info()&types.IsString == 0 // string += is order-sensitive
+	}
+
+	type appendTarget struct {
+		key string // canonical expression text of the slice
+		pos token.Pos
+	}
+	var appends []appendTarget
+	var out []Finding
+	flag := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+
+	checkWriteTarget := func(lhs ast.Expr, pos token.Pos, compound bool) {
+		lhs = ast.Unparen(lhs)
+		switch x := lhs.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return
+			}
+			obj := usedObject(info, x)
+			if !outer(obj) {
+				return
+			}
+			if compound && isIntegerish(lhs) {
+				return // integer/bool accumulation commutes across orders
+			}
+			if compound {
+				flag(pos, "accumulates floating-point values into %s in map iteration order (float addition is not associative); iterate sorted keys", x.Name)
+				return
+			}
+			flag(pos, "assigns to %s in map iteration order (last writer wins); iterate sorted keys", x.Name)
+		case *ast.IndexExpr:
+			root := baseIdent(x)
+			if root == nil {
+				flag(pos, "writes through a computed expression in map iteration order; iterate sorted keys")
+				return
+			}
+			obj := usedObject(info, root)
+			if !outer(obj) {
+				return
+			}
+			if rangedObj != nil && obj == rangedObj {
+				return // writing the ranged map itself commutes per key
+			}
+			if usesLoopVar(x.Index) {
+				return // keyed by the loop variable: distinct keys commute
+			}
+			if compound && isIntegerish(lhs) {
+				return
+			}
+			flag(pos, "writes to %s in map iteration order; iterate sorted keys", root.Name)
+		case *ast.SelectorExpr, *ast.StarExpr:
+			root := baseIdent(lhs)
+			if root == nil {
+				flag(pos, "writes through a computed expression in map iteration order; iterate sorted keys")
+				return
+			}
+			if !outer(usedObject(info, root)) {
+				return
+			}
+			if compound && isIntegerish(lhs) {
+				return
+			}
+			flag(pos, "writes to state reached through %s in map iteration order; iterate sorted keys", root.Name)
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesLoopVar(res) {
+					flag(n.Pos(), "returns a value derived from map iteration order (a different run may return a different entry); iterate sorted keys")
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) on an outer ident: defer judgment to the
+			// collect-then-sort check.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 && n.Tok == token.ASSIGN {
+				if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+						if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" && len(call.Args) > 0 {
+							if arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && arg0.Name == id.Name {
+								if obj := usedObject(info, id); outer(obj) {
+									appends = append(appends, appendTarget{key: id.Name, pos: n.Pos()})
+								}
+								return true
+							}
+						}
+					}
+				}
+			}
+			compound := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWriteTarget(lhs, n.Pos(), compound)
+			}
+		case *ast.IncDecStmt:
+			checkWriteTarget(n.X, n.Pos(), true)
+		case *ast.SendStmt:
+			flag(n.Pos(), "sends on a channel in map iteration order; iterate sorted keys")
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				flag(n.Pos(), "emits formatted output in map iteration order; iterate sorted keys")
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := info.Selections[sel]
+			if selection == nil || selection.Kind() != types.MethodVal {
+				return true
+			}
+			root := baseIdent(sel.X)
+			if root == nil || !outer(usedObject(info, root)) {
+				return true
+			}
+			// A pointer-receiver or interface method on outer state can
+			// mutate it; order of mutation is the iteration order.
+			recv := selection.Recv()
+			if sig, ok := selection.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+				rt := sig.Recv().Type()
+				if _, isPtr := rt.(*types.Pointer); isPtr || isInterface(recv) {
+					flag(n.Pos(), "calls %s.%s (which can mutate state reached through %s) in map iteration order; iterate sorted keys",
+						root.Name, sel.Sel.Name, root.Name)
+				}
+			}
+		}
+		return true
+	})
+
+	// Collect-then-sort: appends to an outer slice are fine when the
+	// slice is sorted later in the same enclosing block.
+	for _, a := range appends {
+		if sortedAfter(info, rest, a.key) {
+			continue
+		}
+		flag(a.pos, "appends to %s in map iteration order and never sorts it; sort %s afterwards or iterate sorted keys", a.key, a.key)
+	}
+	return out
+}
+
+// sortedAfter reports whether the statements following a map-range loop
+// pass the named slice to a sort.* or slices.Sort* call.
+func sortedAfter(info *types.Info, rest []ast.Stmt, key string) bool {
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			if !strings.HasPrefix(fn.Name(), "Sort") && !sortFuncNames[fn.Name()] {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && id.Name == key {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// sortFuncNames are the sort-package helpers whose first argument is the
+// slice being ordered.
+var sortFuncNames = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+}

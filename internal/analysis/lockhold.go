@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHold guards morcd's liveness: the server's mutexes protect the job
+// table, per-job state, and metrics, all of which sit on the simulator's
+// synchronous epoch-publishing path. A blocking operation performed while
+// one of those mutexes is held lets one slow SSE client (or a full
+// channel) stall every worker. The pass scans internal/server for
+// operations that can block for unbounded time inside a critical
+// section:
+//
+//   - channel sends and receives (unless inside a select that has a
+//     default case, which makes them non-blocking);
+//   - select statements without a default case;
+//   - http.Flusher-style Flush calls;
+//   - Write/WriteString/ReadFrom calls and fmt.Fprint* where the
+//     destination's static type is an interface (io.Writer,
+//     http.ResponseWriter, net.Conn) — writes to concrete in-memory
+//     buffers (*bytes.Buffer, *strings.Builder) are fine;
+//   - sync.WaitGroup.Wait and time.Sleep.
+//
+// The analysis is per-function and flow-approximate: a critical section
+// opens at x.Lock()/x.RLock() (or is function-wide after
+// `defer x.Unlock()`) and closes at the matching Unlock in the same
+// block; nested blocks inherit a copy of the held set.
+type LockHold struct{}
+
+func (*LockHold) Name() string { return "lockhold" }
+func (*LockHold) Doc() string {
+	return "forbid blocking operations (channel ops, Flush, interface writes, Wait, Sleep) while a mutex is held in internal/server"
+}
+
+func (*LockHold) Scope(prog *Program, u *Unit) bool {
+	return u.Fixture() == "lockhold" || u.InPaths(prog, "internal/server")
+}
+
+func (l *LockHold) Run(prog *Program, u *Unit) []Finding {
+	var out []Finding
+	report := func(f Finding) { out = append(out, f) }
+	eachFuncDecl(u, func(fd *ast.FuncDecl) {
+		l.checkFunc(u.Info, fd.Body, report)
+	})
+	// Function literals are separate execution contexts: a lock held
+	// where the literal is *defined* is not (necessarily) held when it
+	// runs, and vice versa.
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				l.checkFunc(u.Info, lit.Body, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mutexKey canonicalizes the expression a Lock/Unlock method is called
+// on, so s.mu.Lock() and s.mu.Unlock() pair up.
+func mutexKey(info *types.Info, call *ast.CallExpr) (key string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	recv := ast.Unparen(sel.X)
+	t := info.Types[recv].Type
+	if t == nil {
+		return "", false
+	}
+	if !isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex") {
+		return "", false
+	}
+	return types.ExprString(recv), true
+}
+
+// checkFunc scans one function body, tracking held mutexes linearly
+// through each block.
+func (l *LockHold) checkFunc(info *types.Info, body *ast.BlockStmt, report func(Finding)) {
+	l.scanStmts(info, body.List, map[string]bool{}, report)
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// scanStmts walks a statement list in order, updating held and flagging
+// blocking operations that occur while any mutex is held.
+func (l *LockHold) scanStmts(info *types.Info, list []ast.Stmt, held map[string]bool, report func(Finding)) {
+	for _, st := range list {
+		l.scanStmt(info, st, held, report)
+	}
+}
+
+func (l *LockHold) scanStmt(info *types.Info, st ast.Stmt, held map[string]bool, report func(Finding)) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if key, isMu := mutexKey(info, call); isMu {
+					switch sel.Sel.Name {
+					case "Lock", "RLock":
+						held[key] = true
+						return
+					case "Unlock", "RUnlock":
+						delete(held, key)
+						return
+					}
+				}
+			}
+		}
+		if len(held) > 0 {
+			l.inspectBlocking(info, s.X, held, report)
+		}
+	case *ast.DeferStmt:
+		if key, isMu := mutexKey(info, s.Call); isMu {
+			if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") {
+				// Held for the rest of the function; the lock itself was
+				// (typically) taken just before. Nothing to do: held
+				// already contains the key from the Lock call.
+				_ = key
+				return
+			}
+		}
+		// The deferred call runs at function exit, when locks taken here
+		// may or may not be held — don't scan it against the current set.
+	case *ast.GoStmt:
+		// Runs concurrently; the spawning goroutine's locks are not held
+		// there. The literal's own body is scanned separately.
+	case *ast.BlockStmt:
+		l.scanStmts(info, s.List, held, report)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			l.scanStmt(info, s.Init, held, report)
+		}
+		if len(held) > 0 && s.Cond != nil {
+			l.inspectBlocking(info, s.Cond, held, report)
+		}
+		l.scanStmts(info, s.Body.List, copyHeld(held), report)
+		if s.Else != nil {
+			l.scanStmt(info, s.Else, copyHeld(held), report)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			l.scanStmt(info, s.Init, held, report)
+		}
+		if len(held) > 0 && s.Cond != nil {
+			l.inspectBlocking(info, s.Cond, held, report)
+		}
+		l.scanStmts(info, s.Body.List, copyHeld(held), report)
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := info.Types[s.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					report(Finding{Pos: s.Pos(), Message: fmt.Sprintf(
+						"ranges over channel %s while holding %s; the loop blocks until the channel closes", types.ExprString(s.X), heldNames(held))})
+				}
+			}
+		}
+		l.scanStmts(info, s.Body.List, copyHeld(held), report)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				l.scanStmts(info, cc.Body, copyHeld(held), report)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				l.scanStmts(info, cc.Body, copyHeld(held), report)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if len(held) > 0 && !hasDefault {
+			report(Finding{Pos: s.Pos(), Message: fmt.Sprintf(
+				"select with no default case blocks while holding %s", heldNames(held))})
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				l.scanStmts(info, cc.Body, copyHeld(held), report)
+			}
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			report(Finding{Pos: s.Pos(), Message: fmt.Sprintf(
+				"sends on %s while holding %s; a full channel stalls the critical section", types.ExprString(s.Chan), heldNames(held))})
+		}
+	case *ast.LabeledStmt:
+		l.scanStmt(info, s.Stmt, held, report)
+	default:
+		if len(held) > 0 {
+			l.inspectBlocking(info, st, held, report)
+		}
+	}
+}
+
+// inspectBlocking walks an arbitrary subtree (no lock-state changes
+// inside) flagging blocking operations. Function literals are skipped —
+// they execute later, outside this critical section.
+func (l *LockHold) inspectBlocking(info *types.Info, root ast.Node, held map[string]bool, report func(Finding)) {
+	hn := heldNames(held)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			return false // handled (with default detection) by scanStmt
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(Finding{Pos: n.Pos(), Message: fmt.Sprintf(
+					"receives from %s while holding %s", types.ExprString(n.X), hn)})
+			}
+		case *ast.SendStmt:
+			report(Finding{Pos: n.Pos(), Message: fmt.Sprintf(
+				"sends on %s while holding %s; a full channel stalls the critical section", types.ExprString(n.Chan), hn)})
+		case *ast.CallExpr:
+			l.checkBlockingCall(info, n, hn, report)
+		}
+		return true
+	})
+}
+
+// writeMethodNames are io-style methods that push bytes toward their
+// destination.
+var writeMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteTo": true, "ReadFrom": true,
+}
+
+// checkBlockingCall flags calls that can block for unbounded time.
+func (l *LockHold) checkBlockingCall(info *types.Info, call *ast.CallExpr, hn string, report func(Finding)) {
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil {
+			if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				report(Finding{Pos: call.Pos(), Message: "sleeps while holding " + hn})
+				return
+			}
+			// fmt.Fprint* writing to an interface-typed destination.
+			if fn.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+				switch fn.Name() {
+				case "Fprint", "Fprintf", "Fprintln":
+					if t := info.Types[call.Args[0]].Type; isInterface(t) {
+						report(Finding{Pos: call.Pos(), Message: fmt.Sprintf(
+							"fmt.%s writes to an interface-typed destination (%s) while holding %s; render into a bytes.Buffer and write after unlocking",
+							fn.Name(), types.ExprString(call.Args[0]), hn)})
+					}
+					return
+				}
+			}
+			return
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	recvT := selection.Recv()
+	name := sel.Sel.Name
+	switch {
+	case name == "Flush":
+		report(Finding{Pos: call.Pos(), Message: fmt.Sprintf(
+			"flushes %s while holding %s; a slow client stalls the critical section", types.ExprString(sel.X), hn)})
+	case name == "Wait" && isNamed(recvT, "sync", "WaitGroup"):
+		report(Finding{Pos: call.Pos(), Message: "waits on a sync.WaitGroup while holding " + hn})
+	case writeMethodNames[name] && (isInterface(recvT) || isNamed(recvT, "net", "Conn")):
+		report(Finding{Pos: call.Pos(), Message: fmt.Sprintf(
+			"calls %s on interface-typed %s while holding %s; the destination may be a network connection — buffer under the lock, write after unlocking",
+			name, types.ExprString(sel.X), hn)})
+	}
+}
+
+// heldNames renders the held-mutex set for messages.
+func heldNames(held map[string]bool) string {
+	if len(held) == 0 {
+		return "no lock"
+	}
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	// Sorted so diagnostics are deterministic (practice what we preach).
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += ", " + n
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package boundedgrowth is a morclint fixture: unbounded appends inside
+// the per-instruction simulation loop, next to the bounded idioms the
+// pass must accept.
+package boundedgrowth
+
+type stats struct {
+	lats []int
+}
+
+type system struct {
+	st   stats
+	tick int
+}
+
+func (s *system) Run(n int) []int {
+	var local []int
+	for i := 0; i < n; i++ {
+		s.step(i)
+		local = append(local, i) // value-typed local: per-call and bounded
+	}
+	return local
+}
+
+func (s *system) step(i int) {
+	s.st.lats = append(s.st.lats, i) // want "append grows s.st.lats inside the per-instruction simulation loop"
+	record(&s.st, i)
+	s.tick++
+}
+
+// record is reachable from Run via step, so its append is hot-loop
+// growth even though the function itself looks innocent.
+func record(out *stats, v int) {
+	out.lats = append(out.lats, v) // want "append grows out.lats inside the per-instruction simulation loop"
+}
+
+// setup is not reachable from any loop root; one-time appends are fine.
+func setup(s *system) {
+	s.st.lats = append(s.st.lats, 0)
+}

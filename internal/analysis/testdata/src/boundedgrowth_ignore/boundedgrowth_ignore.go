@@ -1,0 +1,20 @@
+// Package boundedgrowthignore is a morclint fixture: an allowlisted
+// boundedgrowth false positive (the append is capped by a reset).
+package boundedgrowthignore
+
+type ring struct {
+	samples []int
+}
+
+type system struct {
+	r ring
+}
+
+func (s *system) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.r.samples = append(s.r.samples, i) //morclint:ignore boundedgrowth capped by the reset below, never exceeds 1k entries
+		if len(s.r.samples) > 1024 {
+			s.r.samples = s.r.samples[:0]
+		}
+	}
+}

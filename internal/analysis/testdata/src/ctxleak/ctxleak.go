@@ -1,0 +1,55 @@
+// Package ctxleak is a morclint fixture: cancel funcs that leak, next
+// to every handling pattern the pass must accept.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+func discarded() context.Context {
+	ctx, _ := context.WithCancel(context.Background()) // want "cancel func from context.WithCancel is discarded"
+	return ctx
+}
+
+func conditionalCallOnly(cond bool) {
+	_, cancel := context.WithTimeout(context.Background(), time.Second) // want "cancel func from context.WithTimeout is neither deferred nor stored"
+	if cond {
+		cancel()
+	}
+}
+
+func deferred() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return ctx
+}
+
+func deferredInsideLiteral() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer func() {
+		cancel()
+	}()
+	return ctx
+}
+
+type holder struct {
+	cancel context.CancelFunc
+}
+
+func storedInField(h *holder) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	return ctx
+}
+
+func passedToCall(reg func(context.CancelFunc)) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	reg(cancel)
+	return ctx
+}
+
+func returned() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Time{})
+	return ctx, cancel
+}

@@ -1,0 +1,27 @@
+// Package detrandignore is a morclint fixture: allowlisted false
+// positives and malformed ignore comments for the determinism pass.
+package detrandignore
+
+import "math/rand"
+
+func trailingIgnore() int {
+	return rand.Intn(4) //morclint:ignore detrand fixture exercises the trailing allowlist form
+}
+
+func ignoreOnLineAbove() int {
+	//morclint:ignore detrand a comment alone on the line above covers the next line
+	return rand.Intn(4)
+}
+
+func ignoreList() int {
+	return rand.Intn(4) //morclint:ignore detrand,lockhold a comma-separated pass list is accepted
+}
+
+func ignoreAll() int {
+	return rand.Intn(4) //morclint:ignore all the wildcard suppresses every pass
+}
+
+func malformedIgnore() int {
+	/* want "malformed ignore comment" */ //morclint:ignore detrand
+	return rand.Intn(4) // want "rand.Intn uses math/rand's global generator"
+}

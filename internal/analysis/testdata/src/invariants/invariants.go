@@ -1,0 +1,34 @@
+// Package invariants is a morclint fixture: LLC-like types that violate
+// the CheckInvariants contract, next to a type the pass must skip.
+// There is deliberately no test file in this package.
+package invariants
+
+type line struct {
+	addr uint64
+	data []byte
+}
+
+// MissingChecker has insert/evict mutators but no structural checker.
+type MissingChecker struct { // want "MissingChecker has insert/evict mutators .* but no CheckInvariants"
+	lines []line
+}
+
+func (c *MissingChecker) Fill(addr uint64, data []byte) []line      { return nil }
+func (c *MissingChecker) WriteBack(addr uint64, data []byte) []line { return nil }
+
+// UntestedChecker implements CheckInvariants, but nothing in this
+// package's (absent) tests ever calls it.
+type UntestedChecker struct { // want "UntestedChecker implements CheckInvariants but no test file in this package ever calls it"
+	lines []line
+}
+
+func (c *UntestedChecker) Fill(addr uint64, data []byte) []line      { return nil }
+func (c *UntestedChecker) WriteBack(addr uint64, data []byte) []line { return nil }
+func (c *UntestedChecker) CheckInvariants() error                    { return nil }
+
+// ReadOnly has no mutators, so no checker is required.
+type ReadOnly struct {
+	lines []line
+}
+
+func (r *ReadOnly) Read(addr uint64) []byte { return nil }

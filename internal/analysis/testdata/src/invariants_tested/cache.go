@@ -1,0 +1,14 @@
+// Package invariantstested is a morclint fixture: the compliant shape —
+// a checkable type whose package tests call CheckInvariants. The pass
+// must report nothing here.
+package invariantstested
+
+// Covered has mutators, a checker, and (in cache_test.go) a test that
+// calls it.
+type Covered struct {
+	used int
+}
+
+func (c *Covered) Fill(addr uint64, data []byte) []byte      { c.used++; return nil }
+func (c *Covered) WriteBack(addr uint64, data []byte) []byte { c.used++; return nil }
+func (c *Covered) CheckInvariants() error                    { return nil }

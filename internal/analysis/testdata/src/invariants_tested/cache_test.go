@@ -1,0 +1,11 @@
+package invariantstested
+
+import "testing"
+
+func TestInvariants(t *testing.T) {
+	c := &Covered{}
+	c.Fill(0, nil)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+// Package lockholdignore is a morclint fixture: an allowlisted lockhold
+// false positive.
+package lockholdignore
+
+import (
+	"sync"
+	"time"
+)
+
+type srv struct {
+	mu sync.Mutex
+}
+
+func (s *srv) tolerated() {
+	s.mu.Lock()
+	time.Sleep(time.Microsecond) //morclint:ignore lockhold bounded pause measured under the lock on purpose
+	s.mu.Unlock()
+}

@@ -186,6 +186,29 @@ func TestDataIsCopied(t *testing.T) {
 	}
 }
 
+func TestInvariantsUnderMixedOps(t *testing.T) {
+	for _, repl := range []ReplacementKind{LRU, FIFO} {
+		c := NewSetAssoc(4*2*LineSize, 2, repl) // 4 sets, 2 ways: evictions happen fast
+		r := rng.New(42)
+		for i := 0; i < 2000; i++ {
+			addr := uint64(r.Intn(64)) * LineSize
+			switch r.Intn(4) {
+			case 0:
+				c.Fill(addr, lineOf(byte(i)))
+			case 1:
+				c.WriteBack(addr, lineOf(byte(i)))
+			case 2:
+				c.Read(addr)
+			case 3:
+				c.Invalidate(addr)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("repl %v, after op %d on %#x: %v", repl, i, addr, err)
+			}
+		}
+	}
+}
+
 func TestNoPhantomHitsProperty(t *testing.T) {
 	// Property: a line is hit iff it was inserted and not since evicted;
 	// verified against a reference map for a direct-mapped cache.

@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sort"
 
 	"morc/internal/cache"
 	"morc/internal/rng"
@@ -135,8 +136,17 @@ func (o *Oracle) checkWriteBacks(op string, wbs []cache.Writeback) error {
 // line's latest data is still readable from the cache or present in the
 // memory image. It issues reads (perturbing recency state and hit
 // counters), so it is meant as a final check after an exercise run.
+// Lines are visited in sorted address order so the reads perturb the
+// cache identically on every run and the first violation reported is
+// deterministic.
 func (o *Oracle) CheckConservation() error {
-	for la, want := range o.latest {
+	las := make([]uint64, 0, len(o.latest))
+	for la := range o.latest {
+		las = append(las, la)
+	}
+	sort.Slice(las, func(i, j int) bool { return las[i] < las[j] })
+	for _, la := range las {
+		want := o.latest[la]
 		res := o.c.Read(la)
 		if res.Hit {
 			if !bytes.Equal(res.Data, want) {

@@ -104,13 +104,15 @@ func Build(s *Sampler, maxValues int) *Code {
 		v uint32
 		f uint64
 	}
+	var freq map[uint32]uint64
+	if s != nil {
+		freq = s.freq
+	}
 	var vals []vf
 	var total uint64
-	if s != nil {
-		for v, f := range s.freq {
-			vals = append(vals, vf{v, f})
-			total += f
-		}
+	for v, f := range freq {
+		vals = append(vals, vf{v, f})
+		total += f
 	}
 	sort.Slice(vals, func(i, j int) bool {
 		if vals[i].f != vals[j].f {

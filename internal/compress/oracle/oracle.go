@@ -14,6 +14,7 @@ package oracle
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"morc/internal/cache"
 )
@@ -232,9 +233,14 @@ func (c *Cache) CheckInvariants() error {
 		if len(refCheck) != len(c.refs) {
 			return fmt.Errorf("refcount map has %d keys, expected %d", len(c.refs), len(refCheck))
 		}
-		for w, n := range refCheck {
-			if c.refs[w] != n {
-				return fmt.Errorf("word %#x refcount %d, expected %d", w, c.refs[w], n)
+		words := make([]uint32, 0, len(refCheck))
+		for w := range refCheck {
+			words = append(words, w)
+		}
+		sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+		for _, w := range words {
+			if c.refs[w] != refCheck[w] {
+				return fmt.Errorf("word %#x refcount %d, expected %d", w, c.refs[w], refCheck[w])
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"runtime"
@@ -107,9 +108,13 @@ func (m *metrics) snapshot() counters {
 }
 
 // write emits the Prometheus text exposition format (version 0.0.4).
-func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int) {
+// The page is rendered into a local buffer so the lock is never held
+// across a write to dst — a stalled scrape client must not be able to
+// block every job-completion path that wants the metrics mutex.
+func (m *metrics) write(dst io.Writer, queueDepth, queueCap, workers int) {
+	var buf bytes.Buffer
+	w := &buf
 	m.mu.Lock()
-	defer m.mu.Unlock()
 
 	goVers, modVers := buildVersion()
 	fmt.Fprintln(w, "# HELP morcd_build_info Build metadata; the value is always 1.")
@@ -178,4 +183,7 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int) {
 		fmt.Fprintf(w, "morcd_job_duration_seconds_sum{scheme=%q} %g\n", s, h.sum)
 		fmt.Fprintf(w, "morcd_job_duration_seconds_count{scheme=%q} %d\n", s, h.count)
 	}
+	m.mu.Unlock()
+
+	dst.Write(buf.Bytes())
 }
