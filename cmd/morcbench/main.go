@@ -37,6 +37,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit one JSON array of tables (the same encoding morcd serves)")
 		warmup    = flag.Uint64("warmup", 0, "override warmup instructions per core")
 		measure   = flag.Uint64("measure", 0, "override measured instructions per core")
+		parallel  = flag.Int("parallel", 0, "per-simulation worker goroutines (0 = sequential; tables are byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,9 @@ func main() {
 	}
 	if *measure > 0 {
 		budget.Measure = *measure
+	}
+	if *parallel > 0 {
+		budget.Parallelism = *parallel
 	}
 	if *workloads != "" {
 		budget.Workloads = strings.Split(*workloads, ",")

@@ -48,6 +48,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the Result as JSON (the same encoding morcd serves)")
 		telemetry  = flag.String("telemetry", "", "write the per-epoch time series as NDJSON to this file (- for stdout)")
 		epoch      = flag.Uint64("epoch", tel.DefaultEvery, "telemetry epoch length in instructions (with -telemetry)")
+		parallel   = flag.Int("parallel", 0, "simulation worker goroutines (0 = sequential; results are byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 	cfg.WarmupInstr = *warmup
 	cfg.MeasureInstr = *measure
 	cfg.Inclusive = *inclusive
+	cfg.Parallelism = *parallel
 	if *telemetry != "" {
 		cfg.Telemetry = tel.Config{Every: *epoch}
 	}

@@ -1,0 +1,219 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"morc/internal/rng"
+)
+
+// newTestBanked builds a 4-bank LLC of small SetAssoc banks alongside a
+// reference: the same four organizations driven directly with the same
+// interleave routing. Banked must behave as a pure router over its
+// banks, so every observable (hits, data, write-backs, stats, ratio)
+// must match the reference shard-for-shard.
+func newTestBanked() (*Banked, []*SetAssoc) {
+	const banks = 4
+	ref := make([]*SetAssoc, banks)
+	for i := range ref {
+		ref[i] = NewSetAssoc(4*2*LineSize, 2, LRU)
+	}
+	b := NewBanked(banks, func(int) LLC { return NewSetAssoc(4*2*LineSize, 2, LRU) })
+	return b, ref
+}
+
+func TestBankedRoutesLikeReferenceShards(t *testing.T) {
+	b, ref := newTestBanked()
+	route := func(addr uint64) int { return int(LineTag(addr) % uint64(len(ref))) }
+	r := rng.New(7)
+	for i := 0; i < 4000; i++ {
+		addr := uint64(r.Intn(256)) * LineSize
+		k := route(addr)
+		switch r.Intn(3) {
+		case 0:
+			got := b.Read(addr)
+			want := ref[k].Read(addr)
+			if got.Hit != want.Hit || !bytes.Equal(got.Data, want.Data) || got.ExtraCycles != want.ExtraCycles {
+				t.Fatalf("op %d: Read(%#x) = %+v, reference shard says %+v", i, addr, got, want)
+			}
+		case 1:
+			d := lineOf(byte(i))
+			if got, want := b.Fill(addr, d), ref[k].Fill(addr, d); !reflect.DeepEqual(got, want) {
+				t.Fatalf("op %d: Fill(%#x) evicted %v, reference shard evicted %v", i, addr, got, want)
+			}
+		case 2:
+			d := lineOf(byte(i ^ 0x55))
+			if got, want := b.WriteBack(addr, d), ref[k].WriteBack(addr, d); !reflect.DeepEqual(got, want) {
+				t.Fatalf("op %d: WriteBack(%#x) evicted %v, reference shard evicted %v", i, addr, got, want)
+			}
+		}
+	}
+	// Aggregates must equal the reference combined in the same bank order.
+	var wantStats Stats
+	wantRatio := 0.0
+	for _, c := range ref {
+		s := c.Stats()
+		wantStats.Reads += s.Reads
+		wantStats.Hits += s.Hits
+		wantStats.Misses += s.Misses
+		wantStats.Fills += s.Fills
+		wantStats.WriteBacks += s.WriteBacks
+		wantStats.MemWBs += s.MemWBs
+		wantRatio += c.Ratio()
+	}
+	wantRatio /= float64(len(ref))
+	if got := *b.Stats(); got != wantStats {
+		t.Errorf("Stats() = %+v, want %+v", got, wantStats)
+	}
+	if got := b.Ratio(); got != wantRatio {
+		t.Errorf("Ratio() = %v, want %v", got, wantRatio)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Errorf("CheckInvariants after op stream: %v", err)
+	}
+}
+
+// TestBankedRatioConcurrent pins the bit-identity promise RatioConcurrent
+// makes: any worker count combines per-bank ratios in bank index order,
+// so the float64 result equals Ratio() exactly, not approximately.
+func TestBankedRatioConcurrent(t *testing.T) {
+	b, _ := newTestBanked()
+	r := rng.New(11)
+	for i := 0; i < 500; i++ {
+		b.Fill(uint64(r.Intn(512))*LineSize, lineOf(byte(i)))
+	}
+	want := b.Ratio()
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		if got := b.RatioConcurrent(workers); got != want {
+			t.Errorf("RatioConcurrent(%d) = %v, want bit-identical %v", workers, got, want)
+		}
+	}
+}
+
+// TestBankedConcurrentOps drives all banks from concurrent goroutines —
+// the access pattern the parallel simulation engine would produce if its
+// ordering machinery were removed. The per-bank locks must keep each
+// bank internally consistent (CheckInvariants) and lose no counter
+// updates; the CI -race lane additionally vets the locking itself.
+func TestBankedConcurrentOps(t *testing.T) {
+	b, _ := newTestBanked()
+	const goroutines = 8
+	const opsEach = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(100 + g))
+			for i := 0; i < opsEach; i++ {
+				addr := uint64(r.Intn(256)) * LineSize
+				switch r.Intn(3) {
+				case 0:
+					b.Read(addr)
+				case 1:
+					b.Fill(addr, lineOf(byte(i)))
+				case 2:
+					b.WriteBack(addr, lineOf(byte(i)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after concurrent ops: %v", err)
+	}
+	s := b.Stats()
+	if got := s.Reads + s.Fills + s.WriteBacks; got != goroutines*opsEach {
+		t.Errorf("counted %d ops, want %d (lost updates)", got, goroutines*opsEach)
+	}
+	if s.Hits+s.Misses != s.Reads {
+		t.Errorf("Hits+Misses = %d, Reads = %d", s.Hits+s.Misses, s.Reads)
+	}
+}
+
+// brokenBank is an LLC stub whose deep check always fails, to exercise
+// Banked's invariant attribution.
+type brokenBank struct{ SetAssoc }
+
+func (b *brokenBank) CheckInvariants() error { return errors.New("synthetic violation") }
+
+func TestBankedCheckInvariantsAttributesBank(t *testing.T) {
+	b := NewBanked(3, func(i int) LLC {
+		if i == 2 {
+			bb := &brokenBank{}
+			bb.SetAssoc = *NewSetAssoc(2*2*LineSize, 2, LRU)
+			return bb
+		}
+		return NewSetAssoc(2*2*LineSize, 2, LRU)
+	})
+	err := b.CheckInvariants()
+	if err == nil {
+		t.Fatal("CheckInvariants missed the broken bank")
+	}
+	if !strings.Contains(err.Error(), "bank 2") {
+		t.Errorf("error %q does not name the failing bank", err)
+	}
+}
+
+func TestNewBankedPanicsOnBadCount(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBanked(%d) did not panic", n)
+				}
+			}()
+			NewBanked(n, func(int) LLC { return NewSetAssoc(2*2*LineSize, 2, LRU) })
+		}()
+	}
+}
+
+// probeBank is an LLC stub exposing fixed gauges so the averaging
+// semantics of Banked.Probes are checkable exactly.
+type probeBank struct {
+	SetAssoc
+	gauges map[string]float64
+}
+
+func (p *probeBank) Probes() map[string]float64 { return p.gauges }
+
+// plainBank wraps an LLC behind the bare interface so the wrapper's
+// method set carries no Probes — a bank type without gauges.
+type plainBank struct{ LLC }
+
+func TestBankedProbesAverages(t *testing.T) {
+	gauges := []map[string]float64{
+		{"occupancy": 0.5, "gc": 10},
+		{"occupancy": 1.0},
+		nil, // a bank type without probes is skipped, not averaged as zero
+	}
+	b := NewBanked(3, func(i int) LLC {
+		if gauges[i] == nil {
+			return plainBank{NewSetAssoc(2*2*LineSize, 2, LRU)}
+		}
+		pb := &probeBank{gauges: gauges[i]}
+		pb.SetAssoc = *NewSetAssoc(2*2*LineSize, 2, LRU)
+		return pb
+	})
+	got := b.Probes()
+	want := map[string]float64{"occupancy": 0.75, "gc": 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Probes() = %v, want %v", got, want)
+	}
+}
+
+func TestBankedAccessors(t *testing.T) {
+	b, _ := newTestBanked()
+	if b.Banks() != 4 {
+		t.Fatalf("Banks() = %d, want 4", b.Banks())
+	}
+	for i := 0; i < b.Banks(); i++ {
+		if _, ok := b.Bank(i).(*SetAssoc); !ok {
+			t.Fatalf("Bank(%d) is %T, want *SetAssoc", i, b.Bank(i))
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package check_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"morc/internal/server"
+	"morc/internal/sim"
+	"morc/internal/trace"
+)
+
+// This file is the determinism contract for the parallel engine: for
+// every scheme, worker count, core count, and seed, sim.Config with
+// Parallelism > 1 must produce a Result — and a telemetry series — that
+// is byte-for-byte identical to the sequential reference engine's. The
+// in-package smoke tests live in internal/sim; this is the cross-product
+// matrix.
+
+// parallelWindow is the per-cell simulation window. It is deliberately
+// small (the matrix has dozens of cells) but still crosses several
+// sampler, telemetry, and progress boundaries per run.
+func parallelWindow(sch sim.Scheme) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = sch
+	cfg.WarmupInstr = 30_000
+	cfg.MeasureInstr = 60_000
+	cfg.SampleEvery = 20_000
+	cfg.Telemetry.Every = 25_000
+	return cfg
+}
+
+// workerCounts returns the parallelism values the matrix exercises:
+// 1 (must route to the sequential engine), 2, and the machine's CPU
+// count, deduplicated.
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// compareEngines asserts byte-identity of two results: the marshalled
+// Result JSON (which includes scheme stats, per-core results, and the
+// telemetry series) and, when telemetry is present, the NDJSON
+// serialization the CLI and morcd emit.
+func compareEngines(t *testing.T, seq, par sim.Result) {
+	t.Helper()
+	sj, pj := resultJSON(t, &seq), resultJSON(t, &par)
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("parallel Result differs from sequential:\nseq %.300s\npar %.300s", sj, pj)
+	}
+	if (seq.Telemetry == nil) != (par.Telemetry == nil) {
+		t.Fatalf("telemetry presence differs: seq %v, par %v", seq.Telemetry != nil, par.Telemetry != nil)
+	}
+	if seq.Telemetry != nil {
+		var sb, pb bytes.Buffer
+		if err := seq.Telemetry.WriteNDJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Telemetry.WriteNDJSON(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Errorf("telemetry NDJSON differs:\nseq %.300s\npar %.300s", sb.Bytes(), pb.Bytes())
+		}
+	}
+}
+
+// runSeeded runs one single-core workload with the given seed override
+// (0 keeps the profile's canonical seed) and parallelism.
+func runSeeded(t *testing.T, workload string, cfg sim.Config, seed uint64, parallelism int) sim.Result {
+	t.Helper()
+	p, err := trace.Get(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+	cfg.Cores = 1
+	cfg.Parallelism = parallelism
+	res, err := sim.New(cfg, []trace.Profile{p}).RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelEquivalenceMatrix is the single-core matrix: every scheme
+// × every worker count × two generator seeds. -short keeps one cheap
+// and one compressed scheme at one seed so the tier-1 lane stays fast.
+func TestParallelEquivalenceMatrix(t *testing.T) {
+	schemes := sim.AllSchemes()
+	seeds := []uint64{0, 0x5EED}
+	if testing.Short() {
+		schemes = []sim.Scheme{sim.Uncompressed, sim.MORC}
+		seeds = []uint64{0}
+	}
+	for _, sch := range schemes {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%v/seed%#x", sch, seed), func(t *testing.T) {
+				cfg := parallelWindow(sch)
+				seq := runSeeded(t, "gcc", cfg, seed, 0)
+				for _, workers := range workerCounts() {
+					par := runSeeded(t, "gcc", cfg, seed, workers)
+					compareEngines(t, seq, par)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEquivalenceCores covers the multi-core rows of the matrix,
+// where cores genuinely contend for the LLC and memory bandwidth: a
+// 4-core subset of mix M0 and the full 16-core mix M1.
+func TestParallelEquivalenceCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-core matrix; use the full (non -short) lane")
+	}
+
+	runMixN := func(mix string, n int, cfg sim.Config, parallelism int) sim.Result {
+		t.Helper()
+		progs := trace.MultiProgramMixes()[mix]
+		if len(progs) < n {
+			t.Fatalf("mix %s has %d programs, want ≥ %d", mix, len(progs), n)
+		}
+		cfg.Cores = n
+		cfg.Parallelism = parallelism
+		res, err := sim.New(cfg, trace.MixPrograms(progs[:n])).RunCtx(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	t.Run("4core", func(t *testing.T) {
+		for _, sch := range []sim.Scheme{sim.Uncompressed, sim.MORC} {
+			cfg := parallelWindow(sch)
+			cfg.WarmupInstr = 10_000
+			cfg.MeasureInstr = 25_000
+			cfg.SampleEvery = 10_000
+			cfg.Telemetry.Every = 30_000
+			seq := runMixN("M0", 4, cfg, 0)
+			for _, workers := range []int{2, 4} {
+				compareEngines(t, seq, runMixN("M0", 4, cfg, workers))
+			}
+		}
+	})
+
+	t.Run("16core", func(t *testing.T) {
+		cfg := parallelWindow(sim.MORC)
+		cfg.WarmupInstr = 5_000
+		cfg.MeasureInstr = 12_000
+		cfg.SampleEvery = 6_000
+		cfg.Telemetry.Every = 50_000
+		seq := runMixN("M1", 16, cfg, 0)
+		for _, workers := range []int{3, 16} {
+			compareEngines(t, seq, runMixN("M1", 16, cfg, workers))
+		}
+	})
+}
+
+// TestParallelEquivalenceBanked pins engine equivalence with the LLC
+// sharded into banks — the organization both engines must construct
+// identically for a given LLCBanks value.
+func TestParallelEquivalenceBanked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("banked matrix; use the full (non -short) lane")
+	}
+	for _, banks := range []int{2, 4} {
+		for _, sch := range []sim.Scheme{sim.Uncompressed, sim.MORC} {
+			t.Run(fmt.Sprintf("%v/banks%d", sch, banks), func(t *testing.T) {
+				cfg := parallelWindow(sch)
+				cfg.LLCBanks = banks
+				seq := runSeeded(t, "lbm", cfg, 0, 0)
+				compareEngines(t, seq, runSeeded(t, "lbm", cfg, 0, 3))
+			})
+		}
+	}
+}
+
+// TestServerParallelJobMatchesDirectRun extends the morcd determinism
+// pin to the parallel engine: a job submitted with parallelism must
+// produce a Result byte-identical to a direct sequential run with the
+// equivalent Config — including the telemetry series the job streams.
+func TestServerParallelJobMatchesDirectRun(t *testing.T) {
+	cfg := detSimConfig()
+	cfg.Telemetry.Every = 25_000
+	direct, err := sim.RunSingleCtx(context.Background(), "gcc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := server.New(server.Config{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	job, err := srv.Submit(server.JobSpec{
+		Workload:    "gcc",
+		Scheme:      sim.MORC,
+		Parallelism: 3,
+		Telemetry:   25_000,
+		Config: json.RawMessage(
+			`{"WarmupInstr": 60000, "MeasureInstr": 90000, "SampleEvery": 30000}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatal("job did not finish")
+	}
+	v := job.View()
+	if v.Status != server.StatusDone {
+		t.Fatalf("job finished %s: %s", v.Status, v.Error)
+	}
+	compareEngines(t, direct, *v.Result)
+}
+
+// TestServerRejectsNegativeParallelism pins the submit-time validation.
+func TestServerRejectsNegativeParallelism(t *testing.T) {
+	if err := (server.JobSpec{Workload: "gcc", Parallelism: -2}).Validate(); err == nil {
+		t.Fatal("Validate accepted negative parallelism")
+	}
+}

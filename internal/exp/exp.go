@@ -34,6 +34,11 @@ type Budget struct {
 	// listed organizations (nil = the experiment's full paper set).
 	// Schemes an experiment does not compare are ignored.
 	Schemes []sim.Scheme
+	// Parallelism is the per-simulation worker count forwarded to
+	// sim.Config.Parallelism (0 = sequential engine). The parallel engine
+	// is byte-identical to the sequential one, so experiment tables are
+	// unaffected by this knob.
+	Parallelism int
 }
 
 // restrictSchemes intersects an experiment's scheme series with the

@@ -119,6 +119,7 @@ func extSyncedThreads(b Budget) *Table {
 		cfg.WarmupInstr = b.Warmup / 4
 		cfg.MeasureInstr = b.Measure / 4
 		cfg.SampleEvery = b.SampleEvery
+		cfg.Parallelism = b.Parallelism
 		progs := trace.MultiProgramMixes()[mixes[mi]]
 		var ps []trace.Profile
 		if synced {

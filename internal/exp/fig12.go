@@ -41,6 +41,7 @@ func runFig12(b Budget) []*Table {
 		cfg.WarmupInstr = b.Warmup
 		cfg.MeasureInstr = b.Measure
 		cfg.SampleEvery = b.SampleEvery
+		cfg.Parallelism = b.Parallelism
 		cfg.Inclusive = jobs[j].inclusive
 		mc := core.DefaultConfig(cfg.LLCBytesPerCore)
 		mc.DisableCompression = true

@@ -36,6 +36,7 @@ func runSingleSet(b Budget, workloads []string, schemes []sim.Scheme, mutate fun
 		cfg.WarmupInstr = b.Warmup
 		cfg.MeasureInstr = b.Measure
 		cfg.SampleEvery = b.SampleEvery
+		cfg.Parallelism = b.Parallelism
 		if mutate != nil {
 			mutate(&cfg)
 		}

@@ -35,6 +35,7 @@ func runFig7(b Budget) []*Table {
 		cfg.WarmupInstr = b.Warmup
 		cfg.MeasureInstr = b.Measure
 		cfg.SampleEvery = b.SampleEvery
+		cfg.Parallelism = b.Parallelism
 		run := sim.RunSingleSystem(workloads[i], cfg)
 		st := run.System.LLC().(*core.Cache).SymbolStats()
 

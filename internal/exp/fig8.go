@@ -36,6 +36,7 @@ func runFig8(b Budget) []*Table {
 		cfg.WarmupInstr = b.Warmup / 4
 		cfg.MeasureInstr = b.Measure / 4
 		cfg.SampleEvery = b.SampleEvery
+		cfg.Parallelism = b.Parallelism
 		results[mi][si] = sim.RunMix(mixes[mi], cfg)
 	})
 

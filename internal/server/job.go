@@ -67,6 +67,14 @@ type JobSpec struct {
 	// results stay byte-identical to plain sim runs.
 	Telemetry uint64 `json:"telemetry,omitempty"`
 
+	// Parallelism is the number of deterministic simulation workers
+	// (sim.Config.Parallelism): 0 runs the sequential reference engine,
+	// larger values the parallel engine. The two are byte-identical —
+	// internal/check proves it for the job path too — so this knob only
+	// changes wall-clock time, never results. Negative values are
+	// rejected at submit time.
+	Parallelism int `json:"parallelism,omitempty"`
+
 	// Config holds sim.Config field overrides (JSON object, same field
 	// names as sim.Config) applied on top of the defaults and budget —
 	// e.g. {"BWPerCore": 1.6e9, "MeasureInstr": 500000}. Only provided
@@ -107,6 +115,9 @@ func (sp JobSpec) Validate() error {
 	if sp.Telemetry > 0 && sp.Experiment != "" {
 		return fmt.Errorf("telemetry streaming is only available for workload and mix jobs")
 	}
+	if sp.Parallelism < 0 {
+		return fmt.Errorf("negative parallelism %d", sp.Parallelism)
+	}
 	if len(sp.Config) > 0 {
 		cfg := sim.DefaultConfig()
 		if err := strictUnmarshal(sp.Config, &cfg); err != nil {
@@ -133,6 +144,7 @@ func (sp JobSpec) budget() exp.Budget {
 	}
 	b.Workloads = sp.Workloads
 	b.Schemes = sp.Schemes
+	b.Parallelism = sp.Parallelism
 	return b
 }
 
@@ -145,6 +157,7 @@ func (sp JobSpec) simConfig() (sim.Config, error) {
 	cfg.MeasureInstr = b.Measure
 	cfg.SampleEvery = b.SampleEvery
 	cfg.Scheme = sp.Scheme
+	cfg.Parallelism = sp.Parallelism
 	if sp.Telemetry > 0 {
 		cfg.Telemetry.Every = sp.Telemetry
 	}

@@ -1,0 +1,604 @@
+package sim
+
+import (
+	"context"
+	"sync"
+
+	"morc/internal/cache"
+	"morc/internal/telemetry"
+	"morc/internal/trace"
+)
+
+// This file is the deterministic parallel engine: Config.Parallelism > 1
+// routes runPhase here instead of the sequential loop in system.go.
+//
+// The sequential engine defines the reference order: at every step it
+// picks the un-finished core with the smallest local clock (lowest index
+// on ties), so the global step sequence is exactly the per-core step
+// streams merged by the key (pre-step clock, core index). The engine
+// exploits the private/shared split in stepAccess/serviceMiss:
+//
+//   - L1 hits touch only core-private state (trace generator, value
+//     model, L1, per-core clocks), so workers run whole hit runs ahead
+//     without coordination, logging one replay record per step;
+//   - L1 misses touch the shared LLC and memory controller. A worker
+//     stops at a miss and hands it to the coordinator as a pending op at
+//     key (clock, core); the coordinator services pending ops in key
+//     order, each op only once every other live core is provably past it
+//     (blocked on a later op, or running with a dispatch horizon beyond
+//     it — a core's clock only moves forward, so the horizon lower-bounds
+//     every step it can still produce).
+//
+// Observable events — OnProgress's every-checkEvery-steps cadence, the
+// compression-ratio sampler, and telemetry epochs — depend on the global
+// step order, so the coordinator replays the logged records in canonical
+// merge order before applying each op, firing events exactly where the
+// sequential engine would. Replay is cheap: spans that provably contain
+// no event boundary (the sampler and recorder expose pure Due checks,
+// and the progress cadence is a step counter) are consumed in bulk with
+// a per-core binary search; only spans containing a boundary pay for a
+// record-by-record k-way merge.
+//
+// Memory stays bounded without losing liveness: workers pause every
+// maxSegSteps, and a core whose unconsumed replay log exceeds
+// maxLeadRecords is parked until the watermark catches up. The laggard
+// core's log is always fully consumable (all its records precede the
+// global frontier), so parking can never wedge the system.
+
+const (
+	// maxSegSteps bounds how many accesses one dispatch may execute
+	// before reporting back, so the coordinator regains control of
+	// miss-free cores and replay memory stays in check.
+	maxSegSteps = 4096
+	// maxLeadRecords parks a core whose unconsumed replay log grows past
+	// this many records (~24 bytes each), bounding how far ahead of the
+	// slowest core the fastest may run.
+	maxLeadRecords = 1 << 15
+)
+
+// stepRec is one privately executed access in a core's replay log.
+type stepRec struct {
+	key   uint64 // the core's clock when the access was picked (its merge key)
+	instr uint64 // the core's cumulative instruction count after the access
+	now   uint64 // the core's clock after the access
+}
+
+// Worker report kinds.
+const (
+	repBlocked = iota // hit an L1 miss; pendKey/pendA are set
+	repDone           // reached the instruction target
+	repPaused         // maxSegSteps executed; redispatch to continue
+	repStopped        // saw the stop signal (cancellation)
+)
+
+// Track states, coordinator-owned.
+const (
+	trackReady = iota
+	trackRunning
+	trackBlocked
+	trackParked
+	trackDone
+)
+
+// coreTrack is the engine's per-core bookkeeping. While the track is
+// running, the worker owns c (the simulated core), seg, rep, and the
+// pend fields; ownership transfers through the dispatch and report
+// channels. Everything else is coordinator-only.
+type coreTrack struct {
+	c  *coreState
+	id int
+	st int
+
+	// Worker-written, channel-handed-off.
+	seg     []stepRec // replay log of this dispatch's private steps
+	rep     int
+	pendKey uint64
+	pendA   trace.Access
+
+	// horizon is the core's clock at dispatch: a lower bound on the key
+	// of any step the running worker can still produce.
+	horizon uint64
+
+	// Replay cursor: segs[0][rj] is the next unconsumed record; rInstr /
+	// rNow / rStall are the core's counters after the last consumed step
+	// (what the core looked like at the replay watermark).
+	segs       [][]stepRec
+	rj         int
+	unconsumed int
+	rInstr     uint64
+	rNow       uint64
+	rStall     uint64
+	free       [][]stepRec // recycled segment buffers
+}
+
+// peek returns the next unconsumed replay record.
+func (t *coreTrack) peek() (stepRec, bool) {
+	if len(t.segs) == 0 {
+		return stepRec{}, false
+	}
+	return t.segs[0][t.rj], true
+}
+
+// before orders a record against an op/cut key (key, id), tid being the
+// record's core.
+func before(r stepRec, key uint64, tid, id int) bool {
+	return r.key < key || (r.key == key && tid < id)
+}
+
+// cutBefore counts the unconsumed records preceding (key, id) and
+// returns the core's instruction count after the last of them (rInstr
+// when there are none). Whole segments are skipped via their last
+// record; at most one segment pays a binary search.
+func (t *coreTrack) cutBefore(key uint64, id int) (n int, endInstr uint64) {
+	endInstr = t.rInstr
+	first := t.rj
+	for _, seg := range t.segs {
+		recs := seg[first:]
+		first = 0
+		if before(recs[len(recs)-1], key, t.id, id) {
+			n += len(recs)
+			endInstr = recs[len(recs)-1].instr
+			continue
+		}
+		lo, hi := 0, len(recs)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if before(recs[mid], key, t.id, id) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			n += lo
+			endInstr = recs[lo-1].instr
+		}
+		break
+	}
+	return n, endInstr
+}
+
+// consume advances the replay cursor by n records, updating the
+// watermark counters and recycling drained segment buffers.
+func (t *coreTrack) consume(n int) {
+	t.unconsumed -= n
+	for n > 0 {
+		seg := t.segs[0]
+		avail := len(seg) - t.rj
+		if n < avail {
+			t.rj += n
+			r := seg[t.rj-1]
+			t.rInstr, t.rNow = r.instr, r.now
+			return
+		}
+		r := seg[len(seg)-1]
+		t.rInstr, t.rNow = r.instr, r.now
+		n -= avail
+		t.free = append(t.free, seg) //morclint:ignore boundedgrowth recycles a fixed pool of ≤ a few maxSegSteps buffers per core; drained segments move from segs to free, no net growth
+		t.segs[0] = nil
+		t.segs = t.segs[1:]
+		t.rj = 0
+	}
+}
+
+// parEngine is one phase's parallel run: workers execute private step
+// runs, the coordinator (the RunCtx goroutine itself) owns all shared
+// state and the canonical order.
+type parEngine struct {
+	s        *System
+	needLogs bool // replay logs required (progress or measurement events)
+	tracks   []*coreTrack
+	runq     chan *coreTrack
+	repq     chan *coreTrack
+	stop     chan struct{} // closed on cancellation; halts workers mid-segment
+	wg       sync.WaitGroup
+	inflight int
+	ndone    int
+
+	// Event-replay state, mirroring the sequential loop's accounting.
+	cum          uint64 // Σ per-core instruction counts at the replay watermark
+	sinceCheck   int    // steps since the last checkEvery boundary
+	cuts         []int  // scratch: per-track cut sizes
+	ratioWorkers int    // >1 enables concurrent ratio walks on banked LLCs
+}
+
+// runParallel advances the current phase on the parallel engine. It is
+// called once per phase (warmup, measurement) so all replay accounting
+// starts from the phase boundary, exactly like a fresh sequential run
+// loop.
+func (s *System) runParallel(ctx context.Context) error {
+	workers := s.cfg.Parallelism
+	if workers > len(s.cores) {
+		workers = len(s.cores)
+	}
+	e := &parEngine{
+		s:            s,
+		needLogs:     s.OnProgress != nil || s.measuring,
+		tracks:       make([]*coreTrack, len(s.cores)),
+		runq:         make(chan *coreTrack, len(s.cores)),
+		repq:         make(chan *coreTrack, len(s.cores)),
+		stop:         make(chan struct{}),
+		cuts:         make([]int, len(s.cores)),
+		ratioWorkers: workers,
+	}
+	for i, c := range s.cores {
+		e.tracks[i] = &coreTrack{
+			c: c, id: i, st: trackReady,
+			rInstr: c.instr, rNow: c.now, rStall: c.stall,
+		}
+		e.cum += c.instr
+		if c.instr >= c.target {
+			e.tracks[i].st = trackDone
+			e.ndone++
+		}
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	err := e.loop(ctx)
+	close(e.stop)
+	close(e.runq)
+	e.wg.Wait()
+	return err
+}
+
+// worker executes dispatched tracks until the dispatch queue closes.
+func (e *parEngine) worker() {
+	defer e.wg.Done()
+	for t := range e.runq {
+		e.runCore(t)
+		e.repq <- t
+	}
+}
+
+// runCore advances one core privately until it misses in the L1, reaches
+// its target, or exhausts its segment budget.
+func (e *parEngine) runCore(t *coreTrack) {
+	s, c := e.s, t.c
+	steps := 0
+	for c.instr < c.target {
+		if steps >= maxSegSteps {
+			t.rep = repPaused
+			return
+		}
+		if steps&255 == 0 {
+			select {
+			case <-e.stop:
+				t.rep = repStopped
+				return
+			default:
+			}
+		}
+		steps++
+		key := c.now
+		a, miss := s.stepAccess(c)
+		if miss {
+			t.rep = repBlocked
+			t.pendKey = key
+			t.pendA = a
+			return
+		}
+		if e.needLogs {
+			t.seg = append(t.seg, stepRec{key: key, instr: c.instr, now: c.now}) //morclint:ignore boundedgrowth segment is capped at maxSegSteps records per dispatch and handed back for canonical replay; total lead is bounded by maxLeadRecords parking
+		}
+	}
+	t.rep = repDone
+}
+
+// loop is the coordinator: it dispatches ready cores, receives reports,
+// and services pending misses in the sequential engine's canonical
+// order, replaying logged private steps in between so every observable
+// event fires exactly as the reference loop would fire it.
+func (e *parEngine) loop(ctx context.Context) error {
+	done := ctx.Done()
+	for e.ndone < len(e.tracks) {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		progressed := false
+		// Service every pending op that is currently safe.
+		for {
+			t := e.safeOp()
+			if t == nil {
+				break
+			}
+			e.applyOp(t)
+			progressed = true
+			if t.c.instr >= t.c.target {
+				t.st = trackDone
+				e.ndone++
+			} else {
+				t.st = trackReady
+			}
+		}
+		// Unpark caught-up cores and dispatch everything runnable.
+		for _, t := range e.tracks {
+			if t.st == trackParked && t.unconsumed <= maxLeadRecords/2 {
+				t.st = trackReady
+			}
+			if t.st == trackReady {
+				if t.unconsumed > maxLeadRecords {
+					t.st = trackParked
+					continue
+				}
+				e.dispatch(t)
+				progressed = true
+			}
+		}
+		if e.inflight > 0 {
+			select {
+			case t := <-e.repq:
+				e.receive(t)
+			case <-done:
+				return ctx.Err()
+			}
+			// Absorb whatever else has already been reported.
+			for more := true; more; {
+				select {
+				case t := <-e.repq:
+					e.receive(t)
+				default:
+					more = false
+				}
+			}
+		} else if !progressed {
+			// Nothing running, nothing serviceable, nothing dispatched:
+			// every live core is parked behind the replay watermark.
+			// Advance it to the global frontier, which fully drains the
+			// laggard's log and unparks it next iteration.
+			e.advanceWatermark()
+		}
+	}
+	// Drain the remaining logs, firing any trailing events in order.
+	e.advanceTo(^uint64(0), len(e.tracks))
+	return nil
+}
+
+// dispatch hands a ready track to the workers.
+func (e *parEngine) dispatch(t *coreTrack) {
+	t.st = trackRunning
+	t.horizon = t.c.now
+	if e.needLogs {
+		if n := len(t.free); n > 0 {
+			t.seg = t.free[n-1][:0]
+			t.free = t.free[:n-1]
+		} else {
+			t.seg = make([]stepRec, 0, maxSegSteps)
+		}
+	}
+	e.inflight++
+	e.runq <- t
+}
+
+// receive folds a worker report back into coordinator state.
+func (e *parEngine) receive(t *coreTrack) {
+	e.inflight--
+	if len(t.seg) > 0 {
+		t.segs = append(t.segs, t.seg) //morclint:ignore boundedgrowth handed-over replay segments are drained by advanceTo and bounded by maxLeadRecords parking
+		t.unconsumed += len(t.seg)
+	} else if t.seg != nil {
+		t.free = append(t.free, t.seg) //morclint:ignore boundedgrowth recycles at most one empty buffer per dispatch back into the fixed pool
+	}
+	t.seg = nil
+	switch t.rep {
+	case repBlocked:
+		t.st = trackBlocked
+	case repDone:
+		t.st = trackDone
+		e.ndone++
+	default: // repPaused, repStopped
+		t.st = trackReady
+	}
+}
+
+// safeOp returns the pending miss that is next in canonical order, or
+// nil if none may be applied yet. The minimum pending (key, id) is safe
+// exactly when every other live core provably cannot produce a step
+// ordered before it: ready/parked cores' next keys are their clocks,
+// running cores are bounded below by their dispatch horizon, and other
+// blocked cores' ops are later by minimality.
+func (e *parEngine) safeOp() *coreTrack {
+	var best *coreTrack
+	for _, t := range e.tracks {
+		if t.st != trackBlocked {
+			continue
+		}
+		if best == nil || t.pendKey < best.pendKey || (t.pendKey == best.pendKey && t.id < best.id) {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	for _, t := range e.tracks {
+		if t == best || t.st == trackDone || t.st == trackBlocked {
+			continue
+		}
+		bound := t.horizon
+		if t.st != trackRunning {
+			bound = t.c.now
+		}
+		if bound < best.pendKey || (bound == best.pendKey && t.id < best.id) {
+			return nil
+		}
+	}
+	return best
+}
+
+// applyOp advances the replay watermark to the op's canonical position,
+// applies the miss to the shared LLC and memory controller, and runs the
+// op step's own event checks — the exact post-step sequence of the
+// sequential loop.
+func (e *parEngine) applyOp(t *coreTrack) {
+	e.advanceTo(t.pendKey, t.id)
+	e.s.serviceMiss(t.c, t.pendA)
+	t.rInstr = t.c.instr
+	t.rNow = t.c.now
+	t.rStall = t.c.stall
+	e.cum += t.pendA.Instructions()
+	e.postStep()
+}
+
+// advanceWatermark advances replay to the global frontier: the minimum
+// over live cores of the next step each can still produce.
+func (e *parEngine) advanceWatermark() {
+	key, id := ^uint64(0), len(e.tracks)
+	for _, t := range e.tracks {
+		if t.st == trackDone {
+			continue
+		}
+		bound := t.horizon
+		switch t.st {
+		case trackBlocked:
+			bound = t.pendKey
+		case trackReady, trackParked:
+			bound = t.c.now
+		}
+		if bound < key || (bound == key && t.id < id) {
+			key, id = bound, t.id
+		}
+	}
+	e.advanceTo(key, id)
+}
+
+// advanceTo consumes every logged record ordered before (key, id). Spans
+// with no event boundary are consumed in bulk; otherwise the records are
+// k-way merged one at a time, firing the sequential loop's per-step
+// events at their exact global positions.
+func (e *parEngine) advanceTo(key uint64, id int) {
+	if !e.needLogs {
+		return
+	}
+	var spanSteps, spanInstr uint64
+	for i, t := range e.tracks {
+		n, endInstr := t.cutBefore(key, id)
+		e.cuts[i] = n
+		spanSteps += uint64(n)
+		spanInstr += endInstr - t.rInstr
+	}
+	if spanSteps == 0 {
+		return
+	}
+	if !e.spanHasEvent(spanSteps, spanInstr) {
+		for i, t := range e.tracks {
+			if e.cuts[i] > 0 {
+				t.consume(e.cuts[i])
+			}
+		}
+		e.cum += spanInstr
+		if e.s.OnProgress != nil {
+			e.sinceCheck += int(spanSteps)
+		}
+		return
+	}
+	e.merge(key, id)
+}
+
+// spanHasEvent reports whether consuming a span of spanSteps steps and
+// spanInstr instructions could fire an observable event. The sampler and
+// recorder Due checks are pure, and their clocks are monotone within the
+// span, so a negative answer at the span end covers every interior step.
+func (e *parEngine) spanHasEvent(spanSteps, spanInstr uint64) bool {
+	s := e.s
+	if s.OnProgress != nil && e.sinceCheck+int(spanSteps) >= checkEvery {
+		return true
+	}
+	if s.measuring {
+		endMeas := e.cum + spanInstr - s.sampleAt
+		if s.ratio.Due(endMeas) {
+			return true
+		}
+		if s.tel != nil && s.tel.Due(endMeas) {
+			return true
+		}
+	}
+	return false
+}
+
+// merge consumes records below (key, id) one at a time in canonical
+// order, running the per-step event checks after each.
+func (e *parEngine) merge(key uint64, id int) {
+	for {
+		var t *coreTrack
+		var r stepRec
+		for _, x := range e.tracks {
+			rec, ok := x.peek()
+			if !ok || !before(rec, key, x.id, id) {
+				continue
+			}
+			if t == nil || rec.key < r.key || (rec.key == r.key && x.id < t.id) {
+				t, r = x, rec
+			}
+		}
+		if t == nil {
+			return
+		}
+		delta := r.instr - t.rInstr
+		t.consume(1)
+		e.cum += delta
+		e.postStep()
+	}
+}
+
+// postStep mirrors the sequential loop's after-step work at the current
+// replay position: the checkEvery progress cadence, then the measurement
+// window's ratio sampling and telemetry epoch checks.
+func (e *parEngine) postStep() {
+	s := e.s
+	if s.OnProgress != nil {
+		if e.sinceCheck++; e.sinceCheck >= checkEvery {
+			e.sinceCheck = 0
+			total := s.totalTarget()
+			s.OnProgress(clampProgress(e.cum, total), total)
+		}
+	}
+	if s.measuring {
+		meas := e.cum - s.sampleAt
+		if s.ratio.Due(meas) {
+			r := e.llcRatio()
+			s.ratio.Tick(meas, r)
+			if s.tel != nil {
+				s.tel.ObserveRatio(r, s.ratio.Count())
+			}
+		}
+		if s.tel != nil && s.tel.Due(meas) {
+			s.tel.Record(e.replaySample(meas))
+		}
+	}
+}
+
+// llcRatio is the engine's ratio sample: bit-identical to s.llc.Ratio(),
+// but banked LLCs walk their banks concurrently.
+func (e *parEngine) llcRatio() float64 {
+	if b, ok := e.s.llc.(*cache.Banked); ok {
+		return b.RatioConcurrent(e.ratioWorkers)
+	}
+	return e.s.llc.Ratio()
+}
+
+// replaySample is telemetrySample evaluated at the replay watermark
+// rather than at the cores' (run-ahead) live counters. Shared state is
+// exact as-is — the LLC and memory controller only change at ops, which
+// are applied in canonical order — and per-core counters come from the
+// replay cursors. Stall only changes at ops, so rStall needs no
+// per-record tracking.
+func (e *parEngine) replaySample(meas uint64) telemetry.Sample {
+	s := e.s
+	smp := telemetry.Sample{
+		Instr: meas,
+		LLC:   *s.llc.Stats(),
+		Mem:   *s.memctl.Stats(),
+		Ratio: e.llcRatio(),
+	}
+	smp.Cores = make([]telemetry.CoreSample, len(e.tracks))
+	for i, t := range e.tracks {
+		smp.Cores[i] = telemetry.CoreSample{Instr: t.rInstr, Cycles: t.rNow, Stall: t.rStall}
+	}
+	if p, ok := s.llc.(cache.Probed); ok {
+		smp.Probes = p.Probes()
+	}
+	return smp
+}

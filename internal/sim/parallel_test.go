@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// progressLog records an OnProgress callback sequence for comparison.
+type progressLog struct {
+	events [][2]uint64
+}
+
+func (p *progressLog) hook(done, total uint64) {
+	p.events = append(p.events, [2]uint64{done, total})
+}
+
+// parCfg is a small configuration that still crosses several sampler and
+// progress boundaries.
+func parCfg(s Scheme) Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = s
+	cfg.WarmupInstr = 30_000
+	cfg.MeasureInstr = 60_000
+	cfg.SampleEvery = 20_000
+	return cfg
+}
+
+// runBoth runs the same workload on the sequential engine and on the
+// parallel engine with the given worker count, returning both results
+// and progress logs.
+func runBoth(t *testing.T, workload string, cfg Config, workers int) (seq, par Result, seqP, parP *progressLog) {
+	t.Helper()
+	build := func(parallelism int) (*System, *progressLog) {
+		c := cfg
+		c.Parallelism = parallelism
+		s, err := NewSingle(workload, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &progressLog{}
+		s.OnProgress = p.hook
+		return s, p
+	}
+	ss, seqP := build(0)
+	ps, parP := build(workers)
+	seq = ss.Run()
+	par = ps.Run()
+	return seq, par, seqP, parP
+}
+
+// TestParallelMatchesSequential is the in-package equivalence smoke
+// check: byte-identical Result JSON and identical OnProgress sequences
+// for a representative scheme pair. The cross-scheme / cross-core-count
+// matrix lives in internal/check.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, scheme := range []Scheme{Uncompressed, MORC} {
+		for _, workers := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%v/p%d", scheme, workers), func(t *testing.T) {
+				cfg := parCfg(scheme)
+				cfg.Telemetry.Every = 25_000
+				seq, par, seqP, parP := runBoth(t, "gcc", cfg, workers)
+				sj, err := json.Marshal(seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pj, err := json.Marshal(par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(sj) != string(pj) {
+					t.Errorf("parallel Result differs from sequential:\nseq: %.200s\npar: %.200s", sj, pj)
+				}
+				if !reflect.DeepEqual(seqP.events, parP.events) {
+					t.Errorf("OnProgress sequences differ: seq %d events %v..., par %d events %v...",
+						len(seqP.events), head(seqP.events), len(parP.events), head(parP.events))
+				}
+			})
+		}
+	}
+}
+
+func head(ev [][2]uint64) [][2]uint64 {
+	if len(ev) > 4 {
+		return ev[:4]
+	}
+	return ev
+}
+
+// TestParallelMultiCore checks the engine on a multi-program mix, where
+// cross-core LLC and bandwidth interleaving actually exercises the
+// canonical-order machinery.
+func TestParallelMultiCore(t *testing.T) {
+	skipIfShort(t)
+	cfg := parCfg(MORC)
+	cfg.WarmupInstr = 8_000
+	cfg.MeasureInstr = 20_000
+	cfg.SampleEvery = 10_000
+	cfg.Telemetry.Every = 40_000
+
+	run := func(parallelism int) (Result, *progressLog) {
+		c := cfg
+		c.Parallelism = parallelism
+		s, err := NewMix("M0", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &progressLog{}
+		s.OnProgress = p.hook
+		return s.Run(), p
+	}
+	seq, seqP := run(0)
+	sj, _ := json.Marshal(seq)
+	for _, workers := range []int{2, 7, 16} {
+		par, parP := run(workers)
+		pj, _ := json.Marshal(par)
+		if string(sj) != string(pj) {
+			t.Errorf("p=%d: Result differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(seqP.events, parP.events) {
+			t.Errorf("p=%d: OnProgress sequences differ (%d vs %d events)",
+				workers, len(seqP.events), len(parP.events))
+		}
+	}
+}
+
+// TestParallelBankedLLC checks engine equivalence when the LLC is
+// sharded into banks — the organization both engines must build
+// identically for a given LLCBanks value.
+func TestParallelBankedLLC(t *testing.T) {
+	cfg := parCfg(Uncompressed)
+	cfg.LLCBanks = 4
+	seq, par, _, _ := runBoth(t, "lbm", cfg, 3)
+	sj, _ := json.Marshal(seq)
+	pj, _ := json.Marshal(par)
+	if string(sj) != string(pj) {
+		t.Errorf("banked LLC: parallel Result differs from sequential")
+	}
+}
+
+// TestParallelCancelStress hammers the untested parallel RunCtx
+// mid-run cancellation path: many concurrent runs, each cancelled at a
+// randomized point, all under whatever race detector the test binary
+// carries. Cancelled runs must return ctx.Err() with a zero Result and
+// must not leak worker goroutines (the -race lane would flag unsynchronized
+// state, and the WaitGroup join in runParallel would hang on a leak).
+func TestParallelCancelStress(t *testing.T) {
+	const runs = 8
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := parCfg(MORC)
+			cfg.MeasureInstr = 40_000_000 // far more than the cancel allows
+			cfg.Parallelism = 2 + i%3
+			s, err := NewSingle("gcc", cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			delay := time.Duration(rand.Intn(30)) * time.Millisecond
+			go func() {
+				time.Sleep(delay)
+				cancel()
+			}()
+			res, err := s.RunCtx(ctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("run %d: err = %v, want context.Canceled", i, err)
+			}
+			if res.Cores != nil {
+				t.Errorf("run %d: cancelled run returned non-zero Result", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestRunPanicsOnRunCtxError covers sim.Run's panic path: Run promises
+// an infallible signature and must panic loudly when RunCtx fails (a
+// negative Parallelism is the one validation RunCtx performs before
+// touching any core).
+func TestRunPanicsOnRunCtxError(t *testing.T) {
+	cfg := parCfg(Uncompressed)
+	cfg.Parallelism = -1
+	s, err := NewSingle("gcc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run did not panic on RunCtx error")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "Parallelism") {
+			t.Fatalf("panic value %v, want message naming Parallelism", r)
+		}
+	}()
+	s.Run()
+}
+
+// TestNegativeParallelismRejected covers the error (non-panicking) side
+// of the same validation.
+func TestNegativeParallelismRejected(t *testing.T) {
+	cfg := parCfg(Uncompressed)
+	cfg.Parallelism = -3
+	s, err := NewSingle("gcc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunCtx(context.Background()); err == nil {
+		t.Fatal("RunCtx accepted negative Parallelism")
+	}
+}
+
+// TestClampProgress unit-tests the overshoot clamp both engines report
+// through: cores can overshoot their per-core target by one access's
+// instruction count, and the callback must never exceed the total.
+func TestClampProgress(t *testing.T) {
+	cases := []struct{ instr, total, want uint64 }{
+		{0, 100, 0},
+		{99, 100, 99},
+		{100, 100, 100},
+		{101, 100, 100}, // the overshoot case
+		{^uint64(0), 100, 100},
+	}
+	for _, c := range cases {
+		if got := clampProgress(c.instr, c.total); got != c.want {
+			t.Errorf("clampProgress(%d, %d) = %d, want %d", c.instr, c.total, got, c.want)
+		}
+	}
+}
+
+// TestOnProgressContract asserts the behavioral consequences of the
+// clamp on a real run, for both engines: progress is nondecreasing,
+// never exceeds the total, and lands exactly on (total, total).
+func TestOnProgressContract(t *testing.T) {
+	for _, parallelism := range []int{0, 3} {
+		cfg := parCfg(MORC)
+		cfg.Parallelism = parallelism
+		s, err := NewSingle("gcc", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &progressLog{}
+		s.OnProgress = p.hook
+		s.Run()
+		total := uint64(cfg.WarmupInstr + cfg.MeasureInstr)
+		if len(p.events) == 0 {
+			t.Fatalf("p=%d: no progress events", parallelism)
+		}
+		var prev uint64
+		for i, ev := range p.events {
+			if ev[1] != total {
+				t.Fatalf("p=%d event %d: total = %d, want %d", parallelism, i, ev[1], total)
+			}
+			if ev[0] > total {
+				t.Fatalf("p=%d event %d: done %d exceeds total %d (clamp failed)", parallelism, i, ev[0], total)
+			}
+			if ev[0] < prev {
+				t.Fatalf("p=%d event %d: done %d went backwards from %d", parallelism, i, ev[0], prev)
+			}
+			prev = ev[0]
+		}
+		if last := p.events[len(p.events)-1]; last[0] != total {
+			t.Fatalf("p=%d: final progress %d, want exactly %d", parallelism, last[0], total)
+		}
+	}
+}

@@ -112,25 +112,49 @@ func (s *System) Memory() *mem.Controller { return s.memctl }
 
 // step executes one access on core c.
 func (s *System) step(c *coreState) {
-	a := c.gen.Next()
+	if a, miss := s.stepAccess(c); miss {
+		s.serviceMiss(c, a)
+	}
+}
+
+// stepAccess executes the core-private half of one access: the trace
+// generator, the per-core clocks, and the private L1 (including store-hit
+// mutation). It touches no cross-core state, which is what lets the
+// parallel engine run it on a worker without coordination. On an L1 miss
+// it returns the access for serviceMiss to complete; the core is then
+// mid-access (clocks advanced, L1 untouched) until serviceMiss runs.
+func (s *System) stepAccess(c *coreState) (a trace.Access, miss bool) {
+	a = c.gen.Next()
 	c.now += uint64(a.NonMem) + 1
 	c.instr += a.Instructions()
 	c.refs++
 
 	if a.Kind == trace.Load {
 		if c.l1.Read(a.Addr).Hit {
-			return
+			return a, false
 		}
-		data, lat := s.llcAccess(c, a.Addr, false)
-		s.l1Insert(c, a.Addr, data, false)
-		s.block(c, lat)
-		return
+		return a, true
 	}
 	// Store: write-allocate into the L1.
 	if res := c.l1.Read(a.Addr); res.Hit {
 		mutated := append([]byte(nil), res.Data...)
 		c.memv.ApplyStore(mutated, a.Addr)
 		c.l1.Update(a.Addr, mutated, true)
+		return a, false
+	}
+	return a, true
+}
+
+// serviceMiss completes an L1 miss begun by stepAccess: the LLC lookup,
+// memory access, fills, and the core's stall accounting. Everything that
+// reads or writes cross-core state (the shared LLC, the memory
+// controller's bandwidth queues) happens here, so the parallel engine
+// applies these in the sequential engine's canonical order.
+func (s *System) serviceMiss(c *coreState, a trace.Access) {
+	if a.Kind == trace.Load {
+		data, lat := s.llcAccess(c, a.Addr, false)
+		s.l1Insert(c, a.Addr, data, false)
+		s.block(c, lat)
 		return
 	}
 	data, lat := s.llcAccess(c, a.Addr, true)
@@ -238,14 +262,8 @@ func (s *System) run(ctx context.Context) error {
 				for _, c := range s.cores {
 					instr += c.instr
 				}
-				// Cores may overshoot their per-core target by one
-				// access's instruction count; clamp so progress never
-				// exceeds (and later has to back off from) the total.
 				total := s.totalTarget()
-				if instr > total {
-					instr = total
-				}
-				s.OnProgress(instr, total)
+				s.OnProgress(clampProgress(instr, total), total)
 			}
 		}
 		if s.measuring {
@@ -272,10 +290,33 @@ func (s *System) run(ctx context.Context) error {
 	}
 }
 
+// runPhase advances all cores to their current targets on the configured
+// engine: the sequential reference loop for Parallelism ≤ 1, the
+// deterministic parallel engine otherwise. Both produce byte-identical
+// System state, results, and callback sequences (see DESIGN.md).
+func (s *System) runPhase(ctx context.Context) error {
+	if s.cfg.Parallelism > 1 {
+		return s.runParallel(ctx)
+	}
+	return s.run(ctx)
+}
+
 // totalTarget is the whole run's instruction count across all cores:
 // warmup plus measurement, the denominator for progress reporting.
 func (s *System) totalTarget() uint64 {
 	return uint64(len(s.cores)) * (s.cfg.WarmupInstr + s.cfg.MeasureInstr)
+}
+
+// clampProgress bounds a progress numerator to its total: cores may
+// overshoot their per-core target by one access's instruction count, and
+// progress must never exceed (and later have to back off from) the
+// total. Both engines report through this, so their callback sequences
+// agree bit for bit.
+func clampProgress(instr, total uint64) uint64 {
+	if instr > total {
+		return total
+	}
+	return instr
 }
 
 // Run executes warmup then the measurement window and returns the result.
@@ -295,10 +336,13 @@ func (s *System) Run() Result {
 // the System's counters stay internally consistent (each core simply
 // halts short of its target) but the run cannot be resumed.
 func (s *System) RunCtx(ctx context.Context) (Result, error) {
+	if s.cfg.Parallelism < 0 {
+		return Result{}, fmt.Errorf("sim: negative Parallelism %d", s.cfg.Parallelism)
+	}
 	for _, c := range s.cores {
 		c.target = s.cfg.WarmupInstr
 	}
-	if err := s.run(ctx); err != nil {
+	if err := s.runPhase(ctx); err != nil {
 		return Result{}, err
 	}
 	// Snapshot counters so the measurement window reports deltas.
@@ -321,7 +365,7 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 		s.tel = telemetry.NewRecorder(s.cfg.Telemetry, s.cfg.Scheme.String(), s.OnEpoch)
 		s.tel.Begin(s.telemetrySample(0))
 	}
-	if err := s.run(ctx); err != nil {
+	if err := s.runPhase(ctx); err != nil {
 		return Result{}, err
 	}
 	ratio := s.llc.Ratio()
