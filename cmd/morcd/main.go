@@ -5,6 +5,16 @@
 //
 //	morcd -addr :8077 -workers 8 -queue 64 -drain 30s
 //
+// Cluster mode — one coordinator shards jobs across worker morcds:
+//
+//	morcd -coordinator -addr :8070 -peers http://localhost:8071,http://localhost:8072
+//	morcd -addr :8071 -join http://localhost:8070 -advertise http://localhost:8071
+//
+// The coordinator serves the same /v1/jobs API as a single morcd, plus
+// /v1/cluster/{join,peers,jobs/{id}} for membership and placement.
+// Workers started with -join announce themselves to the coordinator and
+// keep re-announcing, so a restarted coordinator re-learns its peers.
+//
 // Submit and wait for a job from the CLI:
 //
 //	morcd -submit -server http://localhost:8077 -workload gcc -scheme MORC -wait
@@ -31,9 +41,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"morc/internal/cluster"
 	"morc/internal/server"
 	"morc/internal/server/client"
 	"morc/internal/sim"
@@ -46,6 +58,12 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size (default NumCPU)")
 		queue   = flag.Int("queue", 64, "bounded queue depth")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+
+		// cluster flags
+		coordinator = flag.Bool("coordinator", false, "serve as a cluster coordinator instead of running simulations")
+		peers       = flag.String("peers", "", "comma-separated worker base URLs (coordinator mode)")
+		join        = flag.String("join", "", "coordinator base URL to announce this worker to")
+		advertise   = flag.String("advertise", "", "base URL the coordinator should reach this worker at (with -join)")
 
 		// submit-mode flags
 		submit    = flag.Bool("submit", false, "submit a job to a running morcd instead of serving")
@@ -70,6 +88,12 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *coordinator {
+		runCoordinator(logger, *addr, *peers, *drain)
+		return
+	}
+
 	srv := server.New(server.Config{Workers: *workers, QueueDepth: *queue, Logger: logger})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -77,6 +101,12 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "morcd: serving on %s (%d workers, queue %d)\n",
 		*addr, srv.Workers(), *queue)
+
+	announceCtx, stopAnnounce := context.WithCancel(context.Background())
+	defer stopAnnounce()
+	if *join != "" {
+		go announce(announceCtx, logger, *join, *advertise, *addr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -87,6 +117,7 @@ func main() {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "morcd: %v, draining for up to %v...\n", sig, *drain)
 	}
+	stopAnnounce()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -96,6 +127,79 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "morcd: all jobs drained")
+}
+
+// runCoordinator serves the cluster coordinator until SIGINT/SIGTERM.
+func runCoordinator(logger *slog.Logger, addr, peerList string, drain time.Duration) {
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimSuffix(p, "/"))
+		}
+	}
+	coord := cluster.New(cluster.Config{Peers: peers, Logger: logger})
+	httpSrv := &http.Server{Addr: addr, Handler: coord.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "morcd: coordinating on %s (%d seed peers)\n", addr, len(peers))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "morcd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "morcd: %v, draining for up to %v...\n", sig, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := coord.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "morcd: drain deadline hit; outstanding cluster jobs abandoned")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "morcd: all cluster jobs drained")
+}
+
+// announce registers this worker with a coordinator and keeps
+// re-registering every 10s — join is idempotent, and the steady
+// re-announce means a restarted coordinator re-learns the cluster
+// without any operator action.
+func announce(ctx context.Context, logger *slog.Logger, coordURL, advertiseURL, addr string) {
+	self := advertiseURL
+	if self == "" {
+		// Best effort: an addr like ":8077" only works if the coordinator
+		// runs on the same host.
+		self = "http://localhost" + addr
+		if !strings.HasPrefix(addr, ":") {
+			self = "http://" + addr
+		}
+	}
+	cl := client.New(strings.TrimSuffix(coordURL, "/"))
+	joined := false
+	for {
+		err := func() error {
+			jctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			return cl.Join(jctx, self)
+		}()
+		switch {
+		case err != nil:
+			logger.Warn("cluster join failed", "coordinator", coordURL, "error", err)
+			joined = false
+		case !joined:
+			logger.Info("joined cluster", "coordinator", coordURL, "advertise", self)
+			joined = true
+		}
+		select {
+		case <-time.After(10 * time.Second):
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // runClient implements -submit / -cancel against a running server.

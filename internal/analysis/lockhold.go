@@ -23,7 +23,15 @@ import (
 //     destination's static type is an interface (io.Writer,
 //     http.ResponseWriter, net.Conn) — writes to concrete in-memory
 //     buffers (*bytes.Buffer, *strings.Builder) are fine;
-//   - sync.WaitGroup.Wait and time.Sleep.
+//   - sync.WaitGroup.Wait and time.Sleep;
+//   - network round-trips: any method on net/http.Client (Do, Get,
+//     Post, ...). The cluster coordinator's registry lives or dies by
+//     this one — a probe or dispatch performed under the registry mutex
+//     would let one dead peer freeze the whole cluster. The enforced
+//     idiom is snapshot-under-lock, round-trip outside, record back
+//     under lock.
+//
+// The pass scans internal/server and internal/cluster.
 //
 // The analysis is per-function and flow-approximate: a critical section
 // opens at x.Lock()/x.RLock() (or is function-wide after
@@ -33,11 +41,11 @@ type LockHold struct{}
 
 func (*LockHold) Name() string { return "lockhold" }
 func (*LockHold) Doc() string {
-	return "forbid blocking operations (channel ops, Flush, interface writes, Wait, Sleep) while a mutex is held in internal/server"
+	return "forbid blocking operations (channel ops, Flush, interface writes, network round-trips, Wait, Sleep) while a mutex is held in internal/server and internal/cluster"
 }
 
 func (*LockHold) Scope(prog *Program, u *Unit) bool {
-	return u.Fixture() == "lockhold" || u.InPaths(prog, "internal/server")
+	return u.Fixture() == "lockhold" || u.InPaths(prog, "internal/server", "internal/cluster")
 }
 
 func (l *LockHold) Run(prog *Program, u *Unit) []Finding {
@@ -281,6 +289,10 @@ func (l *LockHold) checkBlockingCall(info *types.Info, call *ast.CallExpr, hn st
 			"flushes %s while holding %s; a slow client stalls the critical section", types.ExprString(sel.X), hn)})
 	case name == "Wait" && isNamed(recvT, "sync", "WaitGroup"):
 		report(Finding{Pos: call.Pos(), Message: "waits on a sync.WaitGroup while holding " + hn})
+	case isNamed(recvT, "net/http", "Client"):
+		report(Finding{Pos: call.Pos(), Message: fmt.Sprintf(
+			"performs an HTTP round-trip (%s.%s) while holding %s; snapshot under the lock, do the network call outside, record the outcome back under the lock",
+			types.ExprString(sel.X), name, hn)})
 	case writeMethodNames[name] && (isInterface(recvT) || isNamed(recvT, "net", "Conn")):
 		report(Finding{Pos: call.Pos(), Message: fmt.Sprintf(
 			"calls %s on interface-typed %s while holding %s; the destination may be a network connection — buffer under the lock, write after unlocking",

@@ -1,0 +1,70 @@
+// Package lockhold_cluster is a morclint fixture: the cluster
+// coordinator's peer-registry idiom. The registry mutex guards peer
+// bookkeeping only; health probes and job dispatches are HTTP
+// round-trips and must never run under it — one dead peer holding the
+// lock through a network timeout would freeze the whole cluster. The
+// enforced shape is snapshot-under-lock, round-trip outside, record
+// the outcome back under the lock.
+package lockhold_cluster
+
+import (
+	"net/http"
+	"sync"
+)
+
+// registry mirrors cluster.registry: a mutex over peer state plus an
+// HTTP client used to probe and dispatch.
+type registry struct {
+	mu    sync.Mutex
+	peers map[string]int // url -> consecutive failures
+	hc    *http.Client
+}
+
+func (r *registry) probeUnderLock(url string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.hc.Get(url + "/healthz") // want "performs an HTTP round-trip \(r.hc.Get\) while holding r.mu"
+	return err
+}
+
+func (r *registry) dispatchUnderLock(req *http.Request) error {
+	r.mu.Lock()
+	_, err := r.hc.Do(req) // want "performs an HTTP round-trip \(r.hc.Do\) while holding r.mu"
+	r.mu.Unlock()
+	return err
+}
+
+// probeAll is the correct shape: snapshot the targets under the lock,
+// do every round-trip outside it, then record outcomes back under the
+// lock.
+func (r *registry) probeAll() {
+	r.mu.Lock()
+	targets := make([]string, 0, len(r.peers))
+	for u := range r.peers {
+		targets = append(targets, u)
+	}
+	r.mu.Unlock()
+
+	results := make(map[string]bool, len(targets))
+	for _, u := range targets {
+		_, err := r.hc.Get(u + "/healthz") // no lock held: fine
+		results[u] = err == nil
+	}
+
+	r.mu.Lock()
+	for u, ok := range results {
+		if ok {
+			r.peers[u] = 0
+		} else {
+			r.peers[u]++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// recordFailure is pure bookkeeping under the lock: fine.
+func (r *registry) recordFailure(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peers[url]++
+}

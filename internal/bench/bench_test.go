@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Report {
+	r := New("sample", 4)
+	r.Add(Entry{
+		Name:    "leg-a",
+		Config:  map[string]any{"workload": "gcc", "measure_instr": 25000},
+		NsPerOp: 1.5e6,
+		Metrics: map[string]float64{"throughput_jobs_per_sec": 12.5},
+	})
+	r.Add(Entry{Name: "leg-b", NsPerOp: 3e6})
+	return r
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := sample().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sample().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodings of the same report diverged:\n%s\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte("time")) || bytes.Contains(a, []byte("date")) {
+		t.Fatalf("report smells of timestamps:\n%s", a)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	want := sample()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := want.Encode()
+	gb, _ := got.Encode()
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("round trip changed the report:\n%s\n%s", wb, gb)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.SchemaVersion = "v0" }},
+		{"no name", func(r *Report) { r.Name = "" }},
+		{"no cpus", func(r *Report) { r.NumCPU = 0 }},
+		{"no entries", func(r *Report) { r.Entries = nil }},
+		{"unnamed entry", func(r *Report) { r.Entries[0].Name = "" }},
+		{"duplicate entry", func(r *Report) { r.Entries[1].Name = r.Entries[0].Name }},
+		{"NaN ns/op", func(r *Report) { r.Entries[0].NsPerOp = math.NaN() }},
+		{"Inf metric", func(r *Report) { r.Entries[0].Metrics["x"] = math.Inf(1) }},
+	}
+	for _, c := range cases {
+		r := sample()
+		c.mut(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+// TestCommittedReportsConform pins that every BENCH_*.json at the repo
+// root parses under the standardized schema.
+func TestCommittedReportsConform(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json files found")
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err != nil {
+			t.Errorf("%s does not conform: %v", filepath.Base(p), err)
+		}
+	}
+}

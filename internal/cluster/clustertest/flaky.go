@@ -1,0 +1,169 @@
+// Package clustertest provides an httptest-backed morcd worker with
+// deterministic fault injection, for exercising the cluster
+// coordinator's failover, retry, and fencing paths without real
+// processes or real network flakiness.
+package clustertest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"morc/internal/server"
+)
+
+// FlakyPeer is a real in-process morcd worker (it runs actual
+// simulations) fronted by a fault-injecting reverse shim. All faults
+// are deterministic — "every Nth request fails", not "fails with
+// probability p" — so tests assert exact behavior.
+//
+// Faults compose in this order per request: Blackhole (connection
+// abort) beats Stall (delay, then serve) beats FailEvery (HTTP 500).
+// SSE aborts apply on top of whichever path serves the stream.
+type FlakyPeer struct {
+	Server *server.Server
+	HTTP   *httptest.Server
+
+	mu           sync.Mutex
+	failEvery    int           // every Nth request → 500 (0 = off)
+	stall        time.Duration // delay before serving each request
+	blackhole    bool          // abort every connection mid-request
+	dropSSEAfter int           // abort SSE streams after N bytes (0 = off)
+	requests     int
+}
+
+// NewFlakyPeer starts a worker with the given server config. The
+// caller must Close it.
+func NewFlakyPeer(cfg server.Config) *FlakyPeer {
+	p := &FlakyPeer{Server: server.New(cfg)}
+	inner := p.Server.Handler()
+	p.HTTP = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Decide the fault under the lock, act on it after release: the
+		// same no-blocking-under-mutex discipline the coordinator keeps.
+		// Health probes are exempt from FailEvery (but not from Stall or
+		// Blackhole): the counter is shared across every concurrent
+		// request stream, so a no-retry probe landing on an Nth slot
+		// would eject the peer nondeterministically — and probes failing
+		// IS ejection-worthy by design, which the stall and blackhole
+		// scenarios cover. FailEvery models transient job-API faults
+		// that the dispatch client's retries must absorb.
+		probe := r.URL.Path == "/healthz"
+		p.mu.Lock()
+		if !probe {
+			p.requests++
+		}
+		n := p.requests
+		failEvery, stall, blackhole, dropAfter := p.failEvery, p.stall, p.blackhole, p.dropSSEAfter
+		p.mu.Unlock()
+		if probe {
+			failEvery = 0
+		}
+
+		if blackhole {
+			// Sever the TCP connection without an HTTP response: the
+			// client sees a network error, like a crashed or partitioned
+			// host.
+			panic(http.ErrAbortHandler)
+		}
+		if stall > 0 {
+			select {
+			case <-time.After(stall):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if failEvery > 0 && n%failEvery == 0 {
+			http.Error(w, "injected fault", http.StatusInternalServerError)
+			return
+		}
+		if dropAfter > 0 && strings.HasSuffix(r.URL.Path, "/events") {
+			inner.ServeHTTP(&abortAfter{ResponseWriter: w, remaining: dropAfter}, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	return p
+}
+
+// URL is the worker's base URL.
+func (p *FlakyPeer) URL() string { return p.HTTP.URL }
+
+// Close stops the HTTP front-end and drains the worker.
+func (p *FlakyPeer) Close() {
+	p.HTTP.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	p.Server.Shutdown(ctx)
+}
+
+// SetFailEvery makes every nth non-probe request from now on fail with
+// HTTP 500 (0 disables). The request counter keeps running across
+// calls. Health probes are never failed by this knob — see the handler
+// comment; use SetStall or SetBlackhole to take the probe path down.
+func (p *FlakyPeer) SetFailEvery(n int) {
+	p.mu.Lock()
+	p.failEvery = n
+	p.mu.Unlock()
+}
+
+// SetStall delays every request by d before serving it (0 disables).
+func (p *FlakyPeer) SetStall(d time.Duration) {
+	p.mu.Lock()
+	p.stall = d
+	p.mu.Unlock()
+}
+
+// SetBlackhole makes every connection abort without a response while
+// on, simulating a crashed or partitioned host. The worker itself
+// keeps running — jobs already dispatched to it still finish, which is
+// exactly the "slow peer comes back with a stale result" scenario the
+// coordinator's epoch fence must discard.
+func (p *FlakyPeer) SetBlackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	p.mu.Unlock()
+}
+
+// SetDropSSEAfter aborts each SSE stream after n response bytes
+// (0 disables), simulating a mid-stream disconnect.
+func (p *FlakyPeer) SetDropSSEAfter(n int) {
+	p.mu.Lock()
+	p.dropSSEAfter = n
+	p.mu.Unlock()
+}
+
+// Requests is the number of fault-eligible (non-probe) requests the
+// shim has seen.
+func (p *FlakyPeer) Requests() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requests
+}
+
+// abortAfter lets a budget of bytes through, then severs the
+// connection.
+type abortAfter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (a *abortAfter) Write(b []byte) (int, error) {
+	if len(b) >= a.remaining {
+		a.ResponseWriter.Write(b[:a.remaining])
+		if f, ok := a.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	a.remaining -= len(b)
+	return a.ResponseWriter.Write(b)
+}
+
+func (a *abortAfter) Flush() {
+	if f, ok := a.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"morc/internal/server"
+)
+
+// cjob is one job tracked by the coordinator. Its lifecycle mirrors the
+// single-node server's, with one extra axis: ownership. A job is either
+// pending (peer == ""), claimed/dispatched to a peer, or terminal.
+//
+// Fencing: epoch counts dispatch generations. Every interaction a
+// runner has with the job carries the epoch it claimed the job at; any
+// mutation whose epoch no longer matches is a no-op. A failover bumps
+// the epoch, so whatever a slow or resurrected peer later reports for
+// the old generation is discarded deterministically — the re-dispatched
+// generation's result is the only one that can ever land.
+type cjob struct {
+	id      string
+	spec    server.JobSpec
+	created time.Time
+
+	mu        sync.Mutex
+	epoch     uint64 // current dispatch generation (starts at 1)
+	peer      string // owning peer base URL, "" while pending
+	lastPeer  string // previous owner, for the stolen metric
+	remoteID  string // job id on the owning peer
+	requeues  int    // failover count
+	cancelled bool   // cancel requested before the job was bound
+	terminal  bool
+	view      server.JobView // last known view (remote ID; rewritten when served)
+	done      chan struct{}
+}
+
+func newCJob(id string, spec server.JobSpec) *cjob {
+	j := &cjob{
+		id:      id,
+		spec:    spec,
+		epoch:   1,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	j.view = j.pendingViewLocked(server.StatusQueued)
+	return j
+}
+
+// pendingViewLocked synthesizes the view served while no peer owns the
+// job. Callers hold j.mu (or the job is not yet shared).
+func (j *cjob) pendingViewLocked(st server.Status) server.JobView {
+	return server.JobView{ID: j.id, Status: st, Spec: j.spec, CreatedAt: j.created}
+}
+
+// claim transfers a pending job to a runner. prevPeer reports who owned
+// it before a failover ("" on first dispatch) so the caller can count
+// steals; ok is false for jobs that are terminal or already owned.
+func (j *cjob) claim(peerURL string) (epoch uint64, prevPeer string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal || j.peer != "" {
+		return 0, "", false
+	}
+	j.peer = peerURL
+	return j.epoch, j.lastPeer, true
+}
+
+// bind records the remote job the claim turned into. It fails when the
+// job was failed over or cancelled while the submit round-trip was in
+// flight; the caller must then best-effort cancel the remote job.
+func (j *cjob) bind(epoch uint64, remoteID string, v server.JobView) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal || j.cancelled || epoch != j.epoch {
+		return false
+	}
+	j.remoteID = remoteID
+	j.view = v
+	return true
+}
+
+// updateView refreshes the cached remote view, fenced by epoch.
+func (j *cjob) updateView(epoch uint64, v server.JobView) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal || epoch != j.epoch {
+		return
+	}
+	j.view = v
+}
+
+// adopt lands a terminal remote view. False means the result lost the
+// fence — the job was re-dispatched (or already finished) — and must be
+// discarded.
+func (j *cjob) adopt(epoch uint64, v server.JobView) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal || epoch != j.epoch {
+		return false
+	}
+	j.terminal = true
+	j.view = v
+	close(j.done)
+	return true
+}
+
+// requeue pulls the job back from a failed peer and opens the next
+// dispatch generation. Exactly one caller wins for a given generation:
+// the epoch check makes every later attempt (the prober and the
+// polling runner both race here) a no-op. When this call itself
+// finishes the job — failover budget exhausted, or a cancel raced the
+// failover — finishedAs carries the terminal status for the caller to
+// account.
+func (j *cjob) requeue(epoch uint64, maxRequeues int, reason string) (ok bool, finishedAs server.Status, fromPeer string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal || epoch != j.epoch {
+		return false, "", ""
+	}
+	fromPeer = j.peer
+	j.lastPeer = j.peer
+	j.peer = ""
+	j.remoteID = ""
+	j.epoch++
+	j.requeues++
+	if j.requeues > maxRequeues {
+		j.terminal = true
+		v := j.pendingViewLocked(server.StatusFailed)
+		v.Error = "job failed over too many times: " + reason
+		j.view = v
+		close(j.done)
+		return false, server.StatusFailed, fromPeer
+	}
+	if j.cancelled {
+		// Cancel raced the failover: finish as cancelled instead of
+		// re-dispatching work nobody wants.
+		j.terminal = true
+		j.view = j.pendingViewLocked(server.StatusCancelled)
+		close(j.done)
+		return false, server.StatusCancelled, fromPeer
+	}
+	j.view = j.pendingViewLocked(server.StatusQueued)
+	return true, "", fromPeer
+}
+
+// cancelAction tells Cancel how to proceed for the job's current state.
+type cancelAction int
+
+const (
+	cancelNone     cancelAction = iota // already terminal
+	cancelFinished                     // this call finished a pending job
+	cancelPending                      // claimed but unbound: bind will notice
+	cancelRemote                       // bound: DELETE on the owning peer
+)
+
+// requestCancel resolves what cancelling the job means right now.
+func (j *cjob) requestCancel() (act cancelAction, peerURL, remoteID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.terminal:
+		return cancelNone, "", ""
+	case j.peer == "":
+		j.cancelled = true
+		j.terminal = true
+		j.view = j.pendingViewLocked(server.StatusCancelled)
+		close(j.done)
+		return cancelFinished, "", ""
+	case j.remoteID == "":
+		j.cancelled = true
+		return cancelPending, "", ""
+	default:
+		return cancelRemote, j.peer, j.remoteID
+	}
+}
+
+// placement snapshots where the job currently runs.
+func (j *cjob) placement() (peerURL, remoteID string, epoch uint64, requeues int, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.peer, j.remoteID, j.epoch, j.requeues, j.terminal
+}
+
+// serveView is the view served over the coordinator's API: the cached
+// remote view with the job's cluster-wide ID in place of the peer-local
+// one.
+func (j *cjob) serveView() server.JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := j.view
+	v.ID = j.id
+	return v
+}
+
+// isTerminal reports whether the job reached a terminal state.
+func (j *cjob) isTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.terminal
+}
+
+// ownedAt reports whether the runner generation epoch still owns the
+// job — pollers use it to abandon work after a failover.
+func (j *cjob) ownedAt(epoch uint64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.terminal && j.epoch == epoch
+}

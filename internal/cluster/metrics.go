@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"morc/internal/server"
+)
+
+// cmetrics aggregates coordinator-wide counters; per-peer counters live
+// in the registry and are rendered from its snapshot.
+type cmetrics struct {
+	mu            sync.Mutex
+	nSubmitted    uint64
+	nRejected     uint64
+	nDone         uint64
+	nFailed       uint64
+	nCancelled    uint64
+	nRequeued     uint64
+	nLateDiscards uint64
+}
+
+func newCMetrics() *cmetrics { return &cmetrics{} }
+
+func (m *cmetrics) submitted()     { m.mu.Lock(); m.nSubmitted++; m.mu.Unlock() }
+func (m *cmetrics) rejected()      { m.mu.Lock(); m.nRejected++; m.mu.Unlock() }
+func (m *cmetrics) requeued()      { m.mu.Lock(); m.nRequeued++; m.mu.Unlock() }
+func (m *cmetrics) lateDiscarded() { m.mu.Lock(); m.nLateDiscards++; m.mu.Unlock() }
+
+func (m *cmetrics) finished(st server.Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch st {
+	case server.StatusDone:
+		m.nDone++
+	case server.StatusFailed:
+		m.nFailed++
+	case server.StatusCancelled:
+		m.nCancelled++
+	}
+}
+
+// counts snapshots the counters for rendering and tests.
+type counts struct {
+	Submitted, Rejected, Done, Failed, Cancelled, Requeued, LateDiscards uint64
+}
+
+func (m *cmetrics) snapshot() counts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return counts{m.nSubmitted, m.nRejected, m.nDone, m.nFailed, m.nCancelled,
+		m.nRequeued, m.nLateDiscards}
+}
+
+// writeMetrics renders the Prometheus exposition. Everything is copied
+// out of the locked structures first (snapshot/counts), so no mutex is
+// ever held across a write to dst.
+func writeMetrics(dst io.Writer, cts counts, peers []PeerView, pending, queueCap int) {
+	var buf bytes.Buffer
+	w := &buf
+
+	up, down := 0, 0
+	for _, p := range peers {
+		if p.State == stateUp {
+			up++
+		} else {
+			down++
+		}
+	}
+	fmt.Fprintln(w, "# HELP morcd_cluster_peers Peers by health state.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_peers gauge")
+	fmt.Fprintf(w, "morcd_cluster_peers{state=\"up\"} %d\n", up)
+	fmt.Fprintf(w, "morcd_cluster_peers{state=\"down\"} %d\n", down)
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_peer_up Whether the peer is admitted for dispatch.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_peer_up gauge")
+	for _, p := range peers {
+		v := 0
+		if p.State == stateUp {
+			v = 1
+		}
+		fmt.Fprintf(w, "morcd_cluster_peer_up{peer=%q} %d\n", p.URL, v)
+	}
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_peer_inflight Jobs currently dispatched to the peer.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_peer_inflight gauge")
+	for _, p := range peers {
+		fmt.Fprintf(w, "morcd_cluster_peer_inflight{peer=%q} %d\n", p.URL, p.Inflight)
+	}
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_dispatched_total Jobs handed to the peer.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_dispatched_total counter")
+	for _, p := range peers {
+		fmt.Fprintf(w, "morcd_cluster_dispatched_total{peer=%q} %d\n", p.URL, p.Dispatched)
+	}
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_stolen_total Jobs the peer took over after another peer failed them.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_stolen_total counter")
+	for _, p := range peers {
+		fmt.Fprintf(w, "morcd_cluster_stolen_total{peer=%q} %d\n", p.URL, p.Stolen)
+	}
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_requeued_total Jobs pulled back from the peer by failover.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_requeued_total counter")
+	for _, p := range peers {
+		fmt.Fprintf(w, "morcd_cluster_requeued_total{peer=%q} %d\n", p.URL, p.Requeued)
+	}
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_probe_failures_total Health probes the peer failed.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_probe_failures_total counter")
+	for _, p := range peers {
+		fmt.Fprintf(w, "morcd_cluster_probe_failures_total{peer=%q} %d\n", p.URL, p.ProbeFailures)
+	}
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_probe_latency_seconds Latency of the peer's last successful probe.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_probe_latency_seconds gauge")
+	for _, p := range peers {
+		fmt.Fprintf(w, "morcd_cluster_probe_latency_seconds{peer=%q} %g\n", p.URL, p.LastProbeMillis/1000)
+	}
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_jobs_submitted_total Jobs accepted by the coordinator.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_jobs_submitted_total counter")
+	fmt.Fprintf(w, "morcd_cluster_jobs_submitted_total %d\n", cts.Submitted)
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_jobs_rejected_total Submissions rejected because the pending queue was full.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_jobs_rejected_total counter")
+	fmt.Fprintf(w, "morcd_cluster_jobs_rejected_total %d\n", cts.Rejected)
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_jobs_total Cluster jobs finished, by terminal status.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_jobs_total counter")
+	fmt.Fprintf(w, "morcd_cluster_jobs_total{status=\"done\"} %d\n", cts.Done)
+	fmt.Fprintf(w, "morcd_cluster_jobs_total{status=\"failed\"} %d\n", cts.Failed)
+	fmt.Fprintf(w, "morcd_cluster_jobs_total{status=\"cancelled\"} %d\n", cts.Cancelled)
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_jobs_requeued_total Failover requeues across all jobs.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_jobs_requeued_total counter")
+	fmt.Fprintf(w, "morcd_cluster_jobs_requeued_total %d\n", cts.Requeued)
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_late_results_discarded_total Results discarded by the epoch fence.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_late_results_discarded_total counter")
+	fmt.Fprintf(w, "morcd_cluster_late_results_discarded_total %d\n", cts.LateDiscards)
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_jobs_pending Jobs waiting for a peer slot.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_jobs_pending gauge")
+	fmt.Fprintf(w, "morcd_cluster_jobs_pending %d\n", pending)
+
+	fmt.Fprintln(w, "# HELP morcd_cluster_queue_capacity Pending-queue capacity.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_queue_capacity gauge")
+	fmt.Fprintf(w, "morcd_cluster_queue_capacity %d\n", queueCap)
+
+	dst.Write(buf.Bytes())
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import "testing"
+
+func TestQueueBoundAndOrder(t *testing.T) {
+	q := newQueue(2)
+	a, b, c := newCJob("a", testSpec()), newCJob("b", testSpec()), newCJob("c", testSpec())
+	if !q.push(a) || !q.push(b) {
+		t.Fatal("push within bound failed")
+	}
+	if q.push(c) {
+		t.Fatal("push beyond bound succeeded")
+	}
+	if q.len() != 2 {
+		t.Fatalf("len = %d, want 2", q.len())
+	}
+	if got := q.pop(); got != a {
+		t.Fatalf("pop = %v, want a", got)
+	}
+	if got := q.pop(); got != b {
+		t.Fatalf("pop = %v, want b", got)
+	}
+	if got := q.pop(); got != nil {
+		t.Fatalf("pop on empty = %v, want nil", got)
+	}
+}
+
+// TestQueuePushFrontJumpsLineAndIgnoresBound: failover requeues must
+// never be dropped (the job was already accepted) and must run before
+// newer submissions.
+func TestQueuePushFrontJumpsLineAndIgnoresBound(t *testing.T) {
+	q := newQueue(1)
+	a, b := newCJob("a", testSpec()), newCJob("b", testSpec())
+	if !q.push(a) {
+		t.Fatal("push failed")
+	}
+	q.pushFront(b) // queue is at its bound; pushFront must not care
+	if q.len() != 2 {
+		t.Fatalf("len = %d, want 2", q.len())
+	}
+	if got := q.pop(); got != b {
+		t.Fatalf("pop = %v, want the requeued job first", got)
+	}
+}
+
+// TestQueueWakeRearm: one buffered wake token plus re-arming on pop
+// means N pushes never strand work behind a single woken runner.
+func TestQueueWakeRearm(t *testing.T) {
+	q := newQueue(8)
+	q.push(newCJob("a", testSpec()))
+	q.push(newCJob("b", testSpec())) // second notify is dropped (cap 1)
+
+	<-q.wakeCh() // runner 1 wakes, pops a; pop re-arms because b remains
+	if q.pop() == nil {
+		t.Fatal("first pop empty")
+	}
+	select {
+	case <-q.wakeCh():
+	default:
+		t.Fatal("wake channel not re-armed while items remain")
+	}
+	if q.pop() == nil {
+		t.Fatal("second pop empty")
+	}
+	select {
+	case <-q.wakeCh():
+		t.Fatal("spurious wake after queue drained")
+	default:
+	}
+}

@@ -195,6 +195,52 @@ func (c *Client) Timeseries(ctx context.Context, id string) (*telemetry.Series, 
 	return &ts, nil
 }
 
+// Healthz probes the server's liveness endpoint. It performs exactly
+// one round-trip regardless of the retry policy — health checkers own
+// their own failure accounting and must see every miss.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.once(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Join announces selfURL to a coordinator's peer registry
+// (POST /v1/cluster/join). Idempotent: re-announcing an already-known
+// peer is a no-op, so peers heartbeat it freely.
+func (c *Client) Join(ctx context.Context, selfURL string) error {
+	return c.do(ctx, http.MethodPost, "/v1/cluster/join", struct {
+		URL string `json:"url"`
+	}{selfURL}, nil)
+}
+
+// Events opens the raw SSE stream for a job (GET /v1/jobs/{id}/events).
+// The caller owns the returned body and must Close it; the stream ends
+// after the "done" frame. No retry policy applies — an SSE consumer
+// re-subscribes itself, replaying buffered epochs on reconnect.
+func (c *Client) Events(ctx context.Context, id string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	// The default client's 30s timeout would sever long streams; SSE
+	// lifetime is governed by ctx instead.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := http.StatusText(resp.StatusCode)
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return resp.Body, nil
+}
+
 // Schemes lists the LLC organizations the server can simulate.
 func (c *Client) Schemes(ctx context.Context) ([]string, error) {
 	var out struct {

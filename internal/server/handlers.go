@@ -20,8 +20,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeseries", s.handleTimeseries)
-	mux.HandleFunc("GET /v1/schemes", handleSchemes)
-	mux.HandleFunc("GET /v1/workloads", handleWorkloads)
+	mux.HandleFunc("GET /v1/schemes", HandleSchemes)
+	mux.HandleFunc("GET /v1/workloads", HandleWorkloads)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	registerDebug(mux)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -109,7 +109,10 @@ type Catalog struct {
 	Experiments []string `json:"experiments"`
 }
 
-func handleSchemes(w http.ResponseWriter, r *http.Request) {
+// HandleSchemes serves GET /v1/schemes. It is stateless and exported
+// so a cluster coordinator answers catalog queries without forwarding
+// them to a peer.
+func HandleSchemes(w http.ResponseWriter, r *http.Request) {
 	names := make([]string, 0, len(sim.AllSchemes()))
 	for _, sch := range sim.AllSchemes() {
 		names = append(names, sch.String())
@@ -119,7 +122,9 @@ func handleSchemes(w http.ResponseWriter, r *http.Request) {
 	}{names})
 }
 
-func handleWorkloads(w http.ResponseWriter, r *http.Request) {
+// HandleWorkloads serves GET /v1/workloads; see HandleSchemes for why
+// it is exported.
+func HandleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Catalog{
 		Workloads:   trace.SingleProgramWorkloads(),
 		Mixes:       trace.MixNames(),

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,12 @@ var reqSeq atomic.Uint64
 // logRequests is the access-log middleware: one structured line per
 // request with a request id, method, path, status, and wall time.
 func (s *Server) logRequests(next http.Handler) http.Handler {
+	return LogRequests(s.log, next)
+}
+
+// LogRequests wraps next in the access-log middleware. Exported so the
+// cluster coordinator's handler logs in the same format as a worker's.
+func LogRequests(log *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
@@ -51,7 +58,7 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		s.log.Info("request",
+		log.Info("request",
 			"req", fmt.Sprintf("r%06d", reqSeq.Add(1)),
 			"method", r.Method,
 			"path", r.URL.Path,
