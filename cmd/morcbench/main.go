@@ -7,6 +7,7 @@
 //	morcbench -exp fig2,fig7 -workloads gcc,bzip2
 //	morcbench -exp fig6 -schemes Uncompressed,MORC
 //	morcbench -exp fig6 -json      # machine-readable tables (morcd's encoding)
+//	morcbench -exp fig6 -sample-interval 200000  # fast sampled estimates
 //	morcbench -list                # show experiment ids
 //
 // Output is aligned text tables, one per figure panel, written to stdout
@@ -38,6 +39,11 @@ func main() {
 		warmup    = flag.Uint64("warmup", 0, "override warmup instructions per core")
 		measure   = flag.Uint64("measure", 0, "override measured instructions per core")
 		parallel  = flag.Int("parallel", 0, "per-simulation worker goroutines (0 = sequential; tables are byte-identical either way)")
+
+		sampleInterval = flag.Uint64("sample-interval", 0, "representative-interval sampling: interval length in instructions (0 = full-fidelity runs)")
+		sampleK        = flag.Int("sample-k", 0, "sampling: max clusters / detailed windows per run (0 = default)")
+		sampleReplay   = flag.Uint64("sample-replay", 0, "sampling: detailed warmup replay before each window (0 = interval/2)")
+		sampleSeed     = flag.Uint64("sample-seed", 0, "sampling: clustering seed")
 	)
 	flag.Parse()
 
@@ -61,6 +67,16 @@ func main() {
 	}
 	if *parallel > 0 {
 		budget.Parallelism = *parallel
+	}
+	budget.Sampling = sim.SamplingConfig{
+		IntervalInstr: *sampleInterval,
+		MaxClusters:   *sampleK,
+		ReplayInstr:   *sampleReplay,
+		Seed:          *sampleSeed,
+	}
+	if err := budget.Sampling.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "morcbench:", err)
+		os.Exit(1)
 	}
 	if *workloads != "" {
 		budget.Workloads = strings.Split(*workloads, ",")

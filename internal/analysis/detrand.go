@@ -34,7 +34,7 @@ var detrandPkgs = []string{
 	"internal/sim", "internal/core", "internal/cache", "internal/compress",
 	"internal/baseline", "internal/mem", "internal/trace", "internal/energy",
 	"internal/stats", "internal/telemetry", "internal/exp", "internal/check",
-	"internal/rng",
+	"internal/rng", "internal/sample",
 }
 
 func (*DetRand) Name() string { return "detrand" }

@@ -1,0 +1,241 @@
+package check_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"morc/internal/server"
+	"morc/internal/sim"
+)
+
+// samplingErrBound is the pinned relative-error contract of
+// representative-interval sampling: on every golden configuration, each
+// headline metric (IPC, LLC miss rate, compression ratio) of a sampled
+// run lands within this fraction of the full-fidelity run. Tightening
+// the sampler may lower it; a change that needs it raised is a
+// regression.
+const samplingErrBound = 0.05
+
+// samplingGolden are the sampling knobs the bound is pinned under, on
+// the same tiny budget the golden experiment suite uses (60k/90k/30k).
+// Replay is two intervals: on a six-interval window that makes the
+// detailed schedule nearly contiguous, which is exactly the regime the
+// golden budgets are in (the LLC never reaches steady state, so skipped
+// fills would show up as occupancy error).
+func samplingGolden() sim.SamplingConfig {
+	return sim.SamplingConfig{
+		IntervalInstr: 15_000,
+		MaxClusters:   4,
+		ReplayInstr:   30_000,
+	}
+}
+
+// samplingCase is one (label, config, runner) cell group of the matrix.
+type samplingCase struct {
+	name    string
+	schemes []sim.Scheme
+	targets []string // workloads or mixes
+	run     func(target string, cfg sim.Config) sim.Result
+	mutate  func(*sim.Config)
+}
+
+// samplingCases mirrors the golden experiment configurations: fig6's and
+// fig9's single-program runs (between them every LLC organization the
+// simulator implements) and fig8's 16-core multi-program mixes.
+func samplingCases() []samplingCase {
+	single := func(target string, cfg sim.Config) sim.Result {
+		return sim.RunSingle(target, cfg)
+	}
+	mix := func(target string, cfg sim.Config) sim.Result {
+		return sim.RunMix(target, cfg)
+	}
+	return []samplingCase{
+		{
+			name:    "fig6",
+			schemes: sim.ComparedSchemes(),
+			targets: []string{"gcc", "mcf", "cactusADM"},
+			run:     single,
+		},
+		{
+			name:    "fig9",
+			schemes: []sim.Scheme{sim.Uncompressed8x, sim.MORCMerged, sim.Skewed},
+			targets: []string{"gcc", "mcf", "cactusADM"},
+			run:     single,
+		},
+		{
+			name:    "fig8",
+			schemes: []sim.Scheme{sim.Uncompressed, sim.MORC},
+			targets: []string{"M0", "S2"},
+			run:     mix,
+			// fig8 divides the per-core window by 4 across the 16 cores;
+			// the interval shrinks with it so clustering still has five
+			// intervals to choose from (and one to skip — the skipped
+			// interval's position-interpolated reconstruction is exactly
+			// what the bound needs to hold on a contended mix).
+			mutate: func(cfg *sim.Config) {
+				cfg.WarmupInstr /= 4
+				cfg.MeasureInstr /= 4
+				cfg.Sampling.IntervalInstr = 4_500
+				cfg.Sampling.ReplayInstr = 9_000
+			},
+		},
+	}
+}
+
+// missRate is the LLC miss fraction of a run.
+func missRate(r sim.Result) float64 { return 1 - r.LLCStats.HitRate() }
+
+// relErr is |a-b|/|b| with an absolute fallback near zero, so a metric
+// that is legitimately ~0 (e.g. miss rate on a cache that fits the
+// working set) cannot blow up the bound.
+func relErr(a, b float64) float64 {
+	if math.Abs(b) < 1e-9 {
+		return math.Abs(a - b)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// describeWindows renders the sampled schedule for a failure message:
+// which intervals were simulated, their weights, and their per-window
+// metrics, with the window farthest from the full-run metric flagged.
+func describeWindows(info *sim.SamplingInfo, fullIPC, fullMiss, fullRatio float64) string {
+	var buf bytes.Buffer
+	worst, worstDev := -1, -1.0
+	for i, w := range info.Windows {
+		dev := math.Max(relErr(w.IPC, fullIPC),
+			math.Max(relErr(w.MissRate, fullMiss), relErr(w.CompRatio, fullRatio)))
+		if dev > worstDev {
+			worst, worstDev = i, dev
+		}
+	}
+	fmt.Fprintf(&buf, "schedule: %d of %d intervals detailed\n", info.Clusters, info.Intervals)
+	for i, w := range info.Windows {
+		mark := " "
+		if i == worst {
+			mark = "*" // farthest from the full-run metrics
+		}
+		fmt.Fprintf(&buf, "  %s window %d: interval %d weight %.3f IPC %.4f miss %.4f ratio %.4f\n",
+			mark, i, w.Interval, w.Weight, w.IPC, w.MissRate, w.CompRatio)
+	}
+	fmt.Fprintf(&buf, "  full run:   IPC %.4f miss %.4f ratio %.4f", fullIPC, fullMiss, fullRatio)
+	return buf.String()
+}
+
+// TestSamplingErrorBound is the sampling contract: over every scheme the
+// simulator implements and each golden experiment configuration, the
+// sampled estimate of IPC, LLC miss rate, and compression ratio is
+// within samplingErrBound of the full-fidelity result.
+func TestSamplingErrorBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy full-vs-sampled matrix; use the full (non -short) lane")
+	}
+	for _, sc := range samplingCases() {
+		sc := sc
+		for _, scheme := range sc.schemes {
+			scheme := scheme
+			for _, target := range sc.targets {
+				target := target
+				t.Run(fmt.Sprintf("%s/%s/%s", sc.name, scheme, target), func(t *testing.T) {
+					t.Parallel()
+					cfg := sim.DefaultConfig()
+					cfg.Scheme = scheme
+					cfg.WarmupInstr = 60_000
+					cfg.MeasureInstr = 90_000
+					cfg.SampleEvery = 30_000
+					cfg.Sampling = samplingGolden()
+					if sc.mutate != nil {
+						sc.mutate(&cfg)
+					}
+
+					sampled := sc.run(target, cfg)
+					if sampled.Sampling == nil {
+						t.Fatal("run did not sample")
+					}
+					full := cfg
+					full.Sampling = sim.SamplingConfig{}
+					want := sc.run(target, full)
+
+					checks := []struct {
+						metric   string
+						got, ref float64
+					}{
+						{"IPC", sampled.IPC, want.IPC},
+						{"miss rate", missRate(sampled), missRate(want)},
+						{"compression ratio", sampled.CompRatio, want.CompRatio},
+					}
+					for _, c := range checks {
+						if e := relErr(c.got, c.ref); e > samplingErrBound {
+							t.Errorf("%s error %.2f%% exceeds the %.0f%% bound: sampled %v, full %v\n%s",
+								c.metric, 100*e, 100*samplingErrBound, c.got, c.ref,
+								describeWindows(sampled.Sampling, want.IPC, missRate(want), want.CompRatio))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSampledServerJobDeterminism pins that a sampled run through the
+// morcd job path is (a) byte-identical to the equivalent direct
+// sim.RunSingle and (b) byte-identical across submissions — sampling
+// adds clustering but no nondeterminism.
+func TestSampledServerJobDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy server round-trips; use the full (non -short) lane")
+	}
+	cfg := detSimConfig()
+	cfg.Sampling = samplingGolden()
+	direct, err := sim.RunSingleCtx(context.Background(), "gcc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Sampling == nil {
+		t.Fatal("direct run did not sample")
+	}
+
+	srv := server.New(server.Config{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	spec := server.JobSpec{
+		Workload: "gcc",
+		Scheme:   sim.MORC,
+		Sampling: &sim.SamplingConfig{IntervalInstr: 15_000, MaxClusters: 4, ReplayInstr: 30_000},
+		Config: json.RawMessage(
+			`{"WarmupInstr": 60000, "MeasureInstr": 90000, "SampleEvery": 30000}`),
+	}
+	var prev []byte
+	for i := 0; i < 2; i++ {
+		job, err := srv.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(2 * time.Minute):
+			t.Fatal("job did not finish")
+		}
+		v := job.View()
+		if v.Status != server.StatusDone {
+			t.Fatalf("job finished %s: %s", v.Status, v.Error)
+		}
+		jj := resultJSON(t, v.Result)
+		if dj := resultJSON(t, &direct); !bytes.Equal(dj, jj) {
+			t.Fatalf("sampled server job diverged from direct run:\ndirect %s\nserver %s", dj, jj)
+		}
+		if prev != nil && !bytes.Equal(prev, jj) {
+			t.Fatalf("two identical sampled jobs diverged:\n%s\n%s", prev, jj)
+		}
+		prev = jj
+	}
+}

@@ -39,6 +39,13 @@ type Budget struct {
 	// is byte-identical to the sequential one, so experiment tables are
 	// unaffected by this knob.
 	Parallelism int
+	// Sampling is forwarded to sim.Config.Sampling: when enabled, every
+	// simulation in the experiment runs in representative-interval
+	// sampling mode (profile, cluster, simulate one window per cluster,
+	// extrapolate — see morc/internal/sample). Unlike Parallelism this
+	// changes the numbers: tables become estimates within the error
+	// bounds internal/check pins. Composable with Parallelism.
+	Sampling sim.SamplingConfig
 }
 
 // restrictSchemes intersects an experiment's scheme series with the

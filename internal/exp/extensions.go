@@ -120,6 +120,7 @@ func extSyncedThreads(b Budget) *Table {
 		cfg.MeasureInstr = b.Measure / 4
 		cfg.SampleEvery = b.SampleEvery
 		cfg.Parallelism = b.Parallelism
+		cfg.Sampling = b.Sampling
 		progs := trace.MultiProgramMixes()[mixes[mi]]
 		var ps []trace.Profile
 		if synced {

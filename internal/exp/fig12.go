@@ -42,6 +42,7 @@ func runFig12(b Budget) []*Table {
 		cfg.MeasureInstr = b.Measure
 		cfg.SampleEvery = b.SampleEvery
 		cfg.Parallelism = b.Parallelism
+		cfg.Sampling = b.Sampling
 		cfg.Inclusive = jobs[j].inclusive
 		mc := core.DefaultConfig(cfg.LLCBytesPerCore)
 		mc.DisableCompression = true

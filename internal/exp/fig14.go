@@ -36,6 +36,7 @@ func runFig14(b Budget) []*Table {
 		cfg.MeasureInstr = b.Measure
 		cfg.SampleEvery = b.SampleEvery
 		cfg.Parallelism = b.Parallelism
+		cfg.Sampling = b.Sampling
 		run := sim.RunSingleSystem(workloads[i], cfg)
 		h := run.System.LLC().(*core.Cache).MorcStats().LatencyBytes
 		rows[i] = h.Fraction()

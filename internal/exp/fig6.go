@@ -37,6 +37,7 @@ func runSingleSet(b Budget, workloads []string, schemes []sim.Scheme, mutate fun
 		cfg.MeasureInstr = b.Measure
 		cfg.SampleEvery = b.SampleEvery
 		cfg.Parallelism = b.Parallelism
+		cfg.Sampling = b.Sampling
 		if mutate != nil {
 			mutate(&cfg)
 		}

@@ -37,6 +37,7 @@ func runFig8(b Budget) []*Table {
 		cfg.MeasureInstr = b.Measure / 4
 		cfg.SampleEvery = b.SampleEvery
 		cfg.Parallelism = b.Parallelism
+		cfg.Sampling = b.Sampling
 		results[mi][si] = sim.RunMix(mixes[mi], cfg)
 	})
 

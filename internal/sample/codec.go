@@ -1,0 +1,67 @@
+package sample
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Signature wire format: profiles are cheap to recompute in-process, but
+// the sweep cluster ships them between peers (a coordinator can profile
+// once and fan representatives out), so the encoding is versioned and
+// strictly validated. Layout, little-endian:
+//
+//	[8]byte  magic "MORCSIG1"
+//	uint32   signature count
+//	count ×  NumFeatures × float64
+const sigMagic = "MORCSIG1"
+
+// sigRecordSize is the encoded size of one Signature.
+const sigRecordSize = NumFeatures * 8
+
+// maxSignatures bounds decoding; a run of a billion instructions at the
+// minimum interval is far below this, so anything larger is corruption.
+const maxSignatures = 1 << 20
+
+// EncodeSignatures renders signatures in the wire format.
+func EncodeSignatures(sigs []Signature) []byte {
+	out := make([]byte, 0, len(sigMagic)+4+len(sigs)*sigRecordSize)
+	out = append(out, sigMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(sigs)))
+	for _, s := range sigs {
+		for _, f := range s.Features() {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f))
+		}
+	}
+	return out
+}
+
+// DecodeSignatures parses the wire format, rejecting bad magic, length
+// mismatches, and implausible counts.
+func DecodeSignatures(data []byte) ([]Signature, error) {
+	if len(data) < len(sigMagic)+4 {
+		return nil, fmt.Errorf("sample: signature blob too short (%d bytes)", len(data))
+	}
+	if string(data[:len(sigMagic)]) != sigMagic {
+		return nil, fmt.Errorf("sample: bad signature magic %q", data[:len(sigMagic)])
+	}
+	n := binary.LittleEndian.Uint32(data[len(sigMagic):])
+	if n > maxSignatures {
+		return nil, fmt.Errorf("sample: implausible signature count %d", n)
+	}
+	body := data[len(sigMagic)+4:]
+	if len(body) != int(n)*sigRecordSize {
+		return nil, fmt.Errorf("sample: %d signatures need %d body bytes, have %d",
+			n, int(n)*sigRecordSize, len(body))
+	}
+	sigs := make([]Signature, n)
+	for i := range sigs {
+		rec := body[i*sigRecordSize:]
+		var f [NumFeatures]float64
+		for j := 0; j < NumFeatures; j++ {
+			f[j] = math.Float64frombits(binary.LittleEndian.Uint64(rec[j*8:]))
+		}
+		sigs[i] = Signature{MissRate: f[0], CompRatio: f[1], Footprint: f[2], WriteFrac: f[3], IPCProxy: f[4]}
+	}
+	return sigs, nil
+}

@@ -1,0 +1,347 @@
+package sample
+
+import (
+	"math"
+
+	"morc/internal/rng"
+)
+
+// maxIters bounds Lloyd iteration; real signature sets converge in a
+// handful of rounds, and the Plan records whether the bound was hit.
+const maxIters = 100
+
+// Plan is a clustering of intervals and the sampling schedule derived
+// from it. Clusters are ordered by their representative interval,
+// ascending, so the simulator can replay the representatives in one
+// forward pass over the trace.
+type Plan struct {
+	// K is the number of non-empty clusters actually produced (≤ the
+	// requested k, and ≤ the interval count).
+	K int
+	// Assign maps every interval index to its cluster (0..K-1).
+	Assign []int
+	// Reps holds each cluster's representative interval index — the
+	// interval nearest the centroid — in ascending interval order.
+	Reps []int
+	// Pops holds each cluster's population (number of intervals);
+	// Weights the populations normalized to sum to 1.
+	Pops    []int
+	Weights []float64
+	// Iters is the Lloyd iterations run; Converged whether assignments
+	// reached a fixed point within maxIters.
+	Iters     int
+	Converged bool
+}
+
+// Cluster groups interval signatures into at most k clusters with
+// seeded k-means (k-means++ initialization, Lloyd refinement) over
+// z-score-normalized features. It is a pure function of its arguments:
+// identical (sigs, k, seed) produce an identical Plan, bit for bit.
+// All ties (equidistant points, equal counts) break toward the lowest
+// index, so determinism never depends on float comparison order.
+//
+// Beyond the behavior features, the interval's position is included as
+// an auxiliary z-scored dimension. Short runs are dominated by warmup
+// transients — metrics trend monotonically with position rather than
+// with program phase — and position-blind clustering then picks
+// representatives that are behaviorally close but positionally skewed,
+// biasing the extrapolation. The position feature makes clusters
+// positionally compact, which costs nothing in the stationary case and
+// bounds the transient error.
+func Cluster(sigs []Signature, k int, seed uint64) Plan {
+	n := len(sigs)
+	if n == 0 {
+		return Plan{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+
+	pts := normalize(sigs)
+	r := rng.New(seed ^ 0xd1ce5eed)
+
+	// k-means++ seeding: first center uniform, then proportional to
+	// squared distance from the nearest chosen center.
+	centers := make([][clusterDims]float64, 0, k)
+	centers = append(centers, pts[r.Intn(n)])
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, p := range pts {
+			d2[i] = nearestDist2(p, centers)
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with a center; any choice
+			// yields an empty extra cluster. Stop seeding.
+			break
+		}
+		target := r.Float64() * total
+		var cum float64
+		pick := n - 1
+		for i, d := range d2 {
+			cum += d
+			if cum > target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, pts[pick])
+	}
+
+	assign := make([]int, n)
+	plan := Plan{}
+	for iter := 1; iter <= maxIters; iter++ {
+		plan.Iters = iter
+		changed := false
+		for i, p := range pts {
+			c := nearest(p, centers)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iter > 1 {
+			plan.Converged = true
+			break
+		}
+		// Recompute centroids; re-seed any empty cluster with the point
+		// farthest from its current center (deterministic farthest-first).
+		sums := make([][clusterDims]float64, len(centers))
+		counts := make([]int, len(centers))
+		for i, p := range pts {
+			c := assign[i]
+			counts[c]++
+			for f := 0; f < clusterDims; f++ {
+				sums[c][f] += p[f]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range pts {
+					if counts[assign[i]] <= 1 {
+						continue // don't empty a singleton
+					}
+					if d := dist2(p, centers[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				if farD < 0 {
+					continue // nothing to steal; the empty cluster is dropped later
+				}
+				counts[assign[far]]--
+				assign[far] = c
+				counts[c] = 1
+				centers[c] = pts[far]
+				continue
+			}
+			for f := 0; f < clusterDims; f++ {
+				centers[c][f] = sums[c][f] / float64(counts[c])
+			}
+		}
+	}
+
+	// Collapse to non-empty clusters, pick representatives (the interval
+	// nearest each centroid, lowest index on ties), and order clusters by
+	// representative interval ascending so the simulator replays them in
+	// one forward pass.
+	counts := make([]int, len(centers))
+	for _, c := range assign {
+		counts[c]++
+	}
+	type cluster struct {
+		old, rep, pop int
+	}
+	var clusters []cluster
+	for c := range centers {
+		if counts[c] == 0 {
+			continue
+		}
+		rep, repD := -1, math.Inf(1)
+		for i, p := range pts {
+			if assign[i] != c {
+				continue
+			}
+			if d := dist2(p, centers[c]); d < repD {
+				rep, repD = i, d
+			}
+		}
+		// The clusters holding the first and final intervals are
+		// represented by those intervals themselves, not their centroid-
+		// nearest members: metrics that depend on accumulated cache state
+		// (occupancy ratio) need the simulated schedule to start at the
+		// beginning of the run (so no fills are skipped before the first
+		// window) and to reach its end (so the extrapolation never has to
+		// extrapolate past its last observation). The position feature
+		// keeps both clusters positionally compact, so the substitution
+		// costs little representativeness. When one cluster holds both
+		// endpoints, the final interval wins.
+		if assign[n-1] == c {
+			rep = n - 1
+		} else if assign[0] == c {
+			rep = 0
+		}
+		clusters = append(clusters, cluster{old: c, rep: rep, pop: counts[c]})
+	}
+	// Insertion sort by representative (cluster counts are tiny); reps
+	// are distinct intervals so the order is total.
+	for i := 1; i < len(clusters); i++ {
+		for j := i; j > 0 && clusters[j].rep < clusters[j-1].rep; j-- {
+			clusters[j], clusters[j-1] = clusters[j-1], clusters[j]
+		}
+	}
+	remap := make([]int, len(centers))
+	for ni, cl := range clusters {
+		remap[cl.old] = ni
+	}
+	out := Plan{K: len(clusters), Assign: make([]int, n), Iters: plan.Iters, Converged: plan.Converged}
+	for i, c := range assign {
+		out.Assign[i] = remap[c]
+	}
+	for _, cl := range clusters {
+		out.Reps = append(out.Reps, cl.rep)
+		out.Pops = append(out.Pops, cl.pop)
+		out.Weights = append(out.Weights, float64(cl.pop)/float64(n))
+	}
+	return out
+}
+
+// clusterDims is the clustering dimensionality: the signature features
+// plus the auxiliary position dimension.
+const clusterDims = NumFeatures + 1
+
+// normalize z-scores each feature across the intervals and appends the
+// z-scored interval position; constant features (zero variance) are
+// dropped to 0 so they cannot dominate.
+func normalize(sigs []Signature) [][clusterDims]float64 {
+	n := len(sigs)
+	raw := make([][clusterDims]float64, n)
+	for j, s := range sigs {
+		f := s.Features()
+		copy(raw[j][:], f[:])
+		raw[j][NumFeatures] = float64(j)
+	}
+	var mean, std [clusterDims]float64
+	for _, f := range raw {
+		for i := 0; i < clusterDims; i++ {
+			mean[i] += f[i]
+		}
+	}
+	for i := 0; i < clusterDims; i++ {
+		mean[i] /= float64(n)
+	}
+	for _, f := range raw {
+		for i := 0; i < clusterDims; i++ {
+			d := f[i] - mean[i]
+			std[i] += d * d
+		}
+	}
+	for i := 0; i < clusterDims; i++ {
+		std[i] = math.Sqrt(std[i] / float64(n))
+	}
+	pts := make([][clusterDims]float64, n)
+	for j, f := range raw {
+		for i := 0; i < clusterDims; i++ {
+			if std[i] > 0 {
+				pts[j][i] = (f[i] - mean[i]) / std[i]
+			}
+		}
+	}
+	return pts
+}
+
+func dist2(a, b [clusterDims]float64) float64 {
+	var d float64
+	for i := 0; i < clusterDims; i++ {
+		x := a[i] - b[i]
+		d += x * x
+	}
+	return d
+}
+
+// nearest returns the index of the closest center (lowest index wins
+// ties); nearestDist2 the squared distance to it.
+func nearest(p [clusterDims]float64, centers [][clusterDims]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range centers {
+		if d := dist2(p, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func nearestDist2(p [clusterDims]float64, centers [][clusterDims]float64) float64 {
+	bestD := math.Inf(1)
+	for _, ctr := range centers {
+		if d := dist2(p, ctr); d < bestD {
+			bestD = d
+		}
+	}
+	return bestD
+}
+
+// ErrorBars estimates per-metric relative error of extrapolating from
+// the plan's representatives: for each metric it takes the population-
+// weighted within-cluster standard deviation of the proxy feature,
+// normalized by the overall mean — i.e. how much behavior each
+// representative is being asked to stand in for. These are estimates
+// from the cheap profiling pass; the hard guarantee is the empirical
+// bound internal/check pins against full-fidelity runs.
+type ErrorBars struct {
+	IPC       float64 `json:"ipc"`
+	MissRate  float64 `json:"miss_rate"`
+	CompRatio float64 `json:"comp_ratio"`
+}
+
+// EstimateErrors computes the plan's ErrorBars over the signatures it
+// was built from.
+func (p Plan) EstimateErrors(sigs []Signature) ErrorBars {
+	return ErrorBars{
+		IPC:       p.weightedRelStd(sigs, func(s Signature) float64 { return s.IPCProxy }),
+		MissRate:  p.weightedRelStd(sigs, func(s Signature) float64 { return s.MissRate }),
+		CompRatio: p.weightedRelStd(sigs, func(s Signature) float64 { return s.CompRatio }),
+	}
+}
+
+func (p Plan) weightedRelStd(sigs []Signature, f func(Signature) float64) float64 {
+	if p.K == 0 || len(sigs) == 0 {
+		return 0
+	}
+	var overall float64
+	for _, s := range sigs {
+		overall += f(s)
+	}
+	overall /= float64(len(sigs))
+	if overall == 0 {
+		return 0
+	}
+	var est float64
+	for c := 0; c < p.K; c++ {
+		var sum, sum2 float64
+		n := 0
+		for i, s := range sigs {
+			if p.Assign[i] != c {
+				continue
+			}
+			v := f(s)
+			sum += v
+			sum2 += v * v
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		mean := sum / float64(n)
+		vr := sum2/float64(n) - mean*mean
+		if vr < 0 {
+			vr = 0
+		}
+		est += p.Weights[c] * math.Sqrt(vr)
+	}
+	return math.Abs(est / overall)
+}

@@ -1,0 +1,94 @@
+// Package sample implements representative-interval sampling for the
+// simulator: a SimPoint-style two-pass mode that cuts a run into
+// fixed-length instruction intervals, profiles a cheap behavior
+// signature per interval, clusters the signatures with deterministic
+// seeded k-means, and selects one representative interval per cluster.
+// The simulator (morc/internal/sim) then re-simulates only the
+// representatives at full fidelity and extrapolates the full-run Result
+// weighted by cluster population.
+//
+// The signature follows the cache-memory-system variant of SimPoint
+// ("Improving the Representativeness of Simulation Intervals for the
+// Cache Memory System"): instead of instruction-mix basic-block vectors
+// it records the behavior the LLC actually sees — miss rate against a
+// proxy LLC, C-Pack compressibility of the fill stream, working-set
+// footprint, and write fraction — which tracks the compressed-cache
+// metrics this repository reproduces far better than BBVs would.
+//
+// Everything in this package is deterministic: the profiler is a pure
+// function of its Spec, and Cluster is a pure function of (signatures,
+// k, seed). That is what lets internal/check pin byte-identical sampled
+// Results and lets morcd job results stay reproducible.
+package sample
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Signature is one interval's behavior fingerprint. All fields are
+// rates or normalized magnitudes so intervals of equal length compare
+// directly; Features() is the clustering vector.
+type Signature struct {
+	// MissRate is proxy-LLC misses over proxy-LLC accesses (L1 misses).
+	MissRate float64
+	// CompRatio is the mean C-Pack compression ratio (raw bits over
+	// compressed bits) of lines sampled from the interval's LLC fill
+	// stream; intervals with no fills carry the previous interval's
+	// value forward.
+	CompRatio float64
+	// Footprint is the number of distinct line addresses the interval
+	// pushed below the L1s, normalized by the interval's instruction
+	// count (lines per kilo-instruction).
+	Footprint float64
+	// WriteFrac is stores over memory references.
+	WriteFrac float64
+	// IPCProxy is instructions over proxy cycles under fixed hit/miss
+	// latencies — a timing-free IPC estimate used for clustering and
+	// error estimation, not a simulator output.
+	IPCProxy float64
+}
+
+// NumFeatures is the dimensionality of the clustering space.
+const NumFeatures = 5
+
+// Features returns the signature as a feature vector.
+func (s Signature) Features() [NumFeatures]float64 {
+	return [NumFeatures]float64{s.MissRate, s.CompRatio, s.Footprint, s.WriteFrac, s.IPCProxy}
+}
+
+// cacheCap bounds the profile memo below; when full the whole map is
+// dropped. Profiles are pure functions of their Spec, so eviction can
+// recompute but never change a value.
+const cacheCap = 32
+
+var (
+	cacheMu      sync.Mutex
+	profileCache = map[string]*Profile{}
+)
+
+// Cached is Run behind a process-wide memo keyed by the Spec. Sweeps
+// that run one workload under many schemes profile it exactly once:
+// the signature is scheme-independent (the proxy LLC is always the
+// uncompressed organization).
+func Cached(ctx context.Context, spec Spec) (*Profile, error) {
+	key := fmt.Sprintf("%+v", spec)
+	cacheMu.Lock()
+	p, ok := profileCache[key]
+	cacheMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	if len(profileCache) >= cacheCap {
+		profileCache = map[string]*Profile{}
+	}
+	profileCache[key] = p
+	cacheMu.Unlock()
+	return p, nil
+}

@@ -75,6 +75,14 @@ type JobSpec struct {
 	// rejected at submit time.
 	Parallelism int `json:"parallelism,omitempty"`
 
+	// Sampling, when set, runs the job in representative-interval
+	// sampling mode (sim.Config.Sampling): the Result (or every
+	// simulation of an experiment job) is an extrapolated estimate, and
+	// workload/mix results carry result.sampling describing the schedule
+	// and error bars. Like every other knob it is deterministic: the same
+	// spec always returns byte-identical results.
+	Sampling *sim.SamplingConfig `json:"sampling,omitempty"`
+
 	// Config holds sim.Config field overrides (JSON object, same field
 	// names as sim.Config) applied on top of the defaults and budget —
 	// e.g. {"BWPerCore": 1.6e9, "MeasureInstr": 500000}. Only provided
@@ -118,6 +126,11 @@ func (sp JobSpec) Validate() error {
 	if sp.Parallelism < 0 {
 		return fmt.Errorf("negative parallelism %d", sp.Parallelism)
 	}
+	if sp.Sampling != nil {
+		if err := sp.Sampling.Validate(); err != nil {
+			return err
+		}
+	}
 	if len(sp.Config) > 0 {
 		cfg := sim.DefaultConfig()
 		if err := strictUnmarshal(sp.Config, &cfg); err != nil {
@@ -145,6 +158,9 @@ func (sp JobSpec) budget() exp.Budget {
 	b.Workloads = sp.Workloads
 	b.Schemes = sp.Schemes
 	b.Parallelism = sp.Parallelism
+	if sp.Sampling != nil {
+		b.Sampling = *sp.Sampling
+	}
 	return b
 }
 
@@ -158,6 +174,9 @@ func (sp JobSpec) simConfig() (sim.Config, error) {
 	cfg.SampleEvery = b.SampleEvery
 	cfg.Scheme = sp.Scheme
 	cfg.Parallelism = sp.Parallelism
+	if sp.Sampling != nil {
+		cfg.Sampling = *sp.Sampling
+	}
 	if sp.Telemetry > 0 {
 		cfg.Telemetry.Every = sp.Telemetry
 	}

@@ -102,6 +102,15 @@ type Config struct {
 	// pays only a nil check.
 	Telemetry telemetry.Config
 
+	// Sampling, when enabled (IntervalInstr > 0), switches the run to
+	// representative-interval sampling: profile, cluster, simulate only
+	// one window per cluster in detail, extrapolate (see sampling.go and
+	// morc/internal/sample). Result.Sampling then reports the schedule
+	// and error estimates. Composable with Parallelism (each detailed
+	// phase runs on the configured engine) and Telemetry (one epoch per
+	// measured window).
+	Sampling SamplingConfig
+
 	// MORCConfig overrides the MORC configuration (nil = paper default
 	// for the LLC capacity). Used by the sensitivity studies.
 	MORCConfig *core.Config

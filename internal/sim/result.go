@@ -56,6 +56,11 @@ type Result struct {
 	// per-epoch deltas sum to this Result's window totals and its
 	// sample-weighted mean ratio reproduces CompRatio.
 	Telemetry *telemetry.Series `json:"telemetry,omitempty"`
+	// Sampling describes the representative-interval schedule when the
+	// run used Config.Sampling (nil on full-fidelity runs): the windows
+	// simulated, the instruction-reduction factor, and the profiling
+	// pass's error estimates.
+	Sampling *SamplingInfo `json:"sampling,omitempty"`
 }
 
 // collect computes the Result after the measurement window.
@@ -145,6 +150,16 @@ func (s *System) collect() Result {
 }
 
 func (s *System) computeEnergy(res Result) energy.Breakdown {
+	ms := s.memctl.Stats()
+	return s.energyFor(res, (ms.Reads+ms.Writes)-(s.memSnap.Reads+s.memSnap.Writes))
+}
+
+// energyFor applies the Table 7 model to a Result plus a DRAM access
+// count. collect passes the live controller delta; sampled runs pass the
+// population-extrapolated count (the model is linear in events, so
+// applying it once to extrapolated events equals the weighted sum of
+// per-window breakdowns).
+func (s *System) energyFor(res Result, dramAccesses uint64) energy.Breakdown {
 	p := energy.ForScheme(s.cfg.Scheme.String())
 	p.ClockHz = s.cfg.ClockHz
 	if s.cfg.Scheme == Uncompressed8x {
@@ -154,13 +169,12 @@ func (s *System) computeEnergy(res Result) energy.Breakdown {
 	for _, c := range res.Cores {
 		refs += c.Refs
 	}
-	ms := s.memctl.Stats()
 	ev := energy.Events{
 		Cycles:            res.CompletionCycles,
 		Cores:             s.cfg.Cores,
 		L1Accesses:        refs,
 		LLCAccesses:       res.LLCStats.Reads + res.LLCStats.Fills + res.LLCStats.WriteBacks,
-		DRAMAccesses:      (ms.Reads + ms.Writes) - (s.memSnap.Reads + s.memSnap.Writes),
+		DRAMAccesses:      dramAccesses,
 		Compressions:      res.LLCStats.Compressions,
 		DecompressedBytes: res.LLCStats.Decompressed,
 	}

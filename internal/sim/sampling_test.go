@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// samplingTestConfig is a small budget that still cuts into enough
+// intervals for clustering to mean something.
+func samplingTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = MORC
+	cfg.WarmupInstr = 60_000
+	cfg.MeasureInstr = 90_000
+	cfg.SampleEvery = 30_000
+	cfg.Sampling = SamplingConfig{IntervalInstr: 15_000, MaxClusters: 3, ReplayInstr: 30_000}
+	return cfg
+}
+
+func TestSampledRunBasics(t *testing.T) {
+	cfg := samplingTestConfig()
+	// A short replay leaves fast-forward gaps between windows, so the
+	// instruction-reduction accounting is actually exercised. (At the
+	// accuracy settings — replay 2L on a 6-interval window — the schedule
+	// degenerates to a contiguous run and detailed ≈ equivalent.)
+	cfg.Sampling.ReplayInstr = 7_500
+	res := RunSingle("gcc", cfg)
+	info := res.Sampling
+	if info == nil {
+		t.Fatal("sampled run reported no SamplingInfo")
+	}
+	if info.Intervals != 6 {
+		t.Fatalf("intervals = %d, want 6", info.Intervals)
+	}
+	if info.Clusters < 1 || info.Clusters > 3 {
+		t.Fatalf("clusters = %d, want 1..3", info.Clusters)
+	}
+	if len(info.Windows) != info.Clusters {
+		t.Fatalf("%d windows for %d clusters", len(info.Windows), info.Clusters)
+	}
+	var wsum float64
+	pop := 0
+	last := -1
+	for _, w := range info.Windows {
+		if w.Interval <= last {
+			t.Fatalf("windows not in ascending interval order: %+v", info.Windows)
+		}
+		last = w.Interval
+		if w.Interval < 0 || w.Interval >= info.Intervals {
+			t.Fatalf("window interval %d out of range", w.Interval)
+		}
+		wsum += w.Weight
+		pop += w.Population
+	}
+	if pop != info.Intervals {
+		t.Fatalf("populations sum to %d, want %d", pop, info.Intervals)
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g, want 1", wsum)
+	}
+	if info.DetailedInstr == 0 || info.DetailedInstr >= info.EquivalentInstr {
+		t.Fatalf("detailed %d not in (0, equivalent %d)", info.DetailedInstr, info.EquivalentInstr)
+	}
+	if info.ProfiledInstr == 0 {
+		t.Fatal("no profiled instructions recorded")
+	}
+	if res.IPC <= 0 || res.CompRatio <= 0 || res.MemBytes == 0 {
+		t.Fatalf("implausible extrapolated result: IPC %g ratio %g mem %d", res.IPC, res.CompRatio, res.MemBytes)
+	}
+	// Extrapolated per-core instruction counts must land on the full
+	// window (modulo per-access overshoot scaled by the largest weight).
+	for i, c := range res.Cores {
+		got := float64(c.Instructions)
+		want := float64(cfg.MeasureInstr)
+		if math.Abs(got-want)/want > 0.01 {
+			t.Fatalf("core %d extrapolated instructions %v, want ≈%v", i, c.Instructions, cfg.MeasureInstr)
+		}
+	}
+}
+
+// TestSampledFallbackFewIntervals: an interval length that fits fewer
+// than two whole intervals silently falls back to the full-fidelity run.
+func TestSampledFallbackFewIntervals(t *testing.T) {
+	cfg := samplingTestConfig()
+	cfg.Sampling.IntervalInstr = 80_000 // only one interval fits in 90k
+	res := RunSingle("gcc", cfg)
+	if res.Sampling != nil {
+		t.Fatal("expected full-fidelity fallback with < 2 intervals")
+	}
+	full := cfg
+	full.Sampling = SamplingConfig{}
+	want := RunSingle("gcc", full)
+	if res.IPC != want.IPC || res.CompRatio != want.CompRatio {
+		t.Fatalf("fallback run differs from plain full run: %+v vs %+v", res.IPC, want.IPC)
+	}
+}
+
+func TestSampledRejectsNegativeClusters(t *testing.T) {
+	cfg := samplingTestConfig()
+	cfg.Sampling.MaxClusters = -1
+	s, err := NewSingle("gcc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunCtx(t.Context()); err == nil {
+		t.Fatal("negative MaxClusters accepted")
+	}
+}
+
+// TestSampledVsFullClose is a loose sanity check that the sampled
+// estimate lands near the full-fidelity result; the authoritative 5%
+// bound across schemes and golden configs is pinned in internal/check.
+func TestSampledVsFullClose(t *testing.T) {
+	cfg := samplingTestConfig()
+	sampled := RunSingle("gcc", cfg)
+	cfg.Sampling = SamplingConfig{}
+	full := RunSingle("gcc", cfg)
+	relErr := func(a, b float64) float64 {
+		if b == 0 {
+			return math.Abs(a - b)
+		}
+		return math.Abs(a-b) / math.Abs(b)
+	}
+	if e := relErr(sampled.IPC, full.IPC); e > 0.10 {
+		t.Errorf("IPC off by %.1f%%: sampled %g full %g", 100*e, sampled.IPC, full.IPC)
+	}
+	if e := relErr(sampled.CompRatio, full.CompRatio); e > 0.10 {
+		t.Errorf("CompRatio off by %.1f%%: sampled %g full %g", 100*e, sampled.CompRatio, full.CompRatio)
+	}
+}

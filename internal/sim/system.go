@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"morc/internal/cache"
@@ -40,6 +41,17 @@ type coreState struct {
 	missLat   *stats.Histogram
 	startCyc  uint64
 	startInst uint64
+
+	// Window-boundary snapshots for sampled segment phases (sampling.go):
+	// when this core's instr crosses snapAt, run records a winSnap of the
+	// core-private counters into snaps[snapIdx] (preallocated per
+	// segment) and advances snapAt to the next boundary in
+	// System.snapBounds. Disarmed (snapAt == ^uint64(0)) everywhere
+	// outside a sampled measurement phase, so full runs pay one
+	// always-false comparison per access.
+	snapAt  uint64
+	snapIdx int
+	snaps   []winSnap
 }
 
 // System wires cores, the shared LLC, and the memory channel together.
@@ -48,6 +60,9 @@ type System struct {
 	cores  []*coreState
 	llc    cache.LLC
 	memctl *mem.Controller
+	// programs are the per-core workload profiles, retained so sampled
+	// runs can hand them to the profiling pass (morc/internal/sample).
+	programs []trace.Profile
 
 	ratio     *stats.Sampler
 	sampleAt  uint64
@@ -55,6 +70,16 @@ type System struct {
 	memSnap   mem.Stats
 	measuring bool
 	tel       *telemetry.Recorder
+
+	// Sampled-run segment state (sampling.go): snapBounds are the
+	// ascending per-core instruction boundaries of the current segment
+	// phase, snapCrossed[j] counts cores that have crossed boundary j,
+	// and cuts[j] is the consistent global snapshot taken the moment the
+	// last core crosses boundary j.
+	snapBounds  []uint64
+	snapCrossed []int
+	cuts        []segCut
+	snapTel     bool
 
 	// OnProgress, when set, is called at most every checkEvery accesses
 	// with the instructions retired so far (clamped to the total) and the
@@ -90,14 +115,16 @@ func New(cfg Config, programs []trace.Profile) *System {
 			BandwidthBytesPerSec: cfg.BWPerCore * float64(cfg.Cores),
 			AccessLatency:        cfg.MemLatency,
 		}),
-		ratio: stats.NewSampler(cfg.SampleEvery),
+		ratio:    stats.NewSampler(cfg.SampleEvery),
+		programs: append([]trace.Profile(nil), programs...),
 	}
 	for i, p := range programs {
 		s.cores = append(s.cores, &coreState{
-			id:   i,
-			gen:  trace.NewSynthGen(p),
-			memv: trace.NewMemory(p),
-			l1:   cache.NewSetAssoc(cfg.L1Bytes, cfg.L1Ways, cache.LRU),
+			id:     i,
+			gen:    trace.NewSynthGen(p),
+			memv:   trace.NewMemory(p),
+			l1:     cache.NewSetAssoc(cfg.L1Bytes, cfg.L1Ways, cache.LRU),
+			snapAt: ^uint64(0),
 		})
 	}
 	return s
@@ -250,6 +277,9 @@ func (s *System) run(ctx context.Context) error {
 			return nil
 		}
 		s.step(pick)
+		if pick.instr >= pick.snapAt {
+			s.windowSnap(pick)
+		}
 		if steps++; steps >= checkEvery {
 			steps = 0
 			select {
@@ -339,28 +369,31 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 	if s.cfg.Parallelism < 0 {
 		return Result{}, fmt.Errorf("sim: negative Parallelism %d", s.cfg.Parallelism)
 	}
+	if s.cfg.Sampling.Enabled() {
+		if err := s.cfg.Sampling.Validate(); err != nil {
+			return Result{}, err
+		}
+		// Fewer than two whole intervals means there is nothing to
+		// sample between; fall through to the full-fidelity run
+		// (Result.Sampling stays nil). Likewise when clustering turns
+		// out degenerate (every interval its own representative).
+		if s.cfg.sampledIntervals() >= 2 {
+			res, err := s.runSampled(ctx)
+			if !errors.Is(err, errSamplingDegenerate) {
+				return res, err
+			}
+		}
+	}
 	for _, c := range s.cores {
 		c.target = s.cfg.WarmupInstr
 	}
 	if err := s.runPhase(ctx); err != nil {
 		return Result{}, err
 	}
-	// Snapshot counters so the measurement window reports deltas.
-	s.llcSnap = *s.llc.Stats()
-	s.memSnap = *s.memctl.Stats()
-	var sampleBase uint64
+	s.beginMeasurement()
 	for _, c := range s.cores {
-		c.startCyc = c.now
-		c.startInst = c.instr
 		c.target = c.instr + s.cfg.MeasureInstr
-		c.refs = 0
-		c.l1Misses = 0
-		c.stall = 0
-		c.missLat = stats.NewHistogram(missLatBounds)
-		sampleBase += c.instr
 	}
-	s.sampleAt = sampleBase
-	s.measuring = true
 	if s.cfg.Telemetry.Enabled() {
 		s.tel = telemetry.NewRecorder(s.cfg.Telemetry, s.cfg.Scheme.String(), s.OnEpoch)
 		s.tel.Begin(s.telemetrySample(0))
@@ -378,6 +411,28 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 		s.OnProgress(s.totalTarget(), s.totalTarget())
 	}
 	return res, nil
+}
+
+// beginMeasurement snapshots counters so the measurement window reports
+// deltas, resets the per-core window counters, and opens the window.
+// RunCtx calls it once after warmup; sampled runs call it once per
+// representative window.
+func (s *System) beginMeasurement() {
+	s.llcSnap = *s.llc.Stats()
+	s.memSnap = *s.memctl.Stats()
+	s.ratio = stats.NewSampler(s.cfg.SampleEvery)
+	var sampleBase uint64
+	for _, c := range s.cores {
+		c.startCyc = c.now
+		c.startInst = c.instr
+		c.refs = 0
+		c.l1Misses = 0
+		c.stall = 0
+		c.missLat = stats.NewHistogram(missLatBounds)
+		sampleBase += c.instr
+	}
+	s.sampleAt = sampleBase
+	s.measuring = true
 }
 
 // telemetrySample snapshots every counter the telemetry layer records,
