@@ -22,6 +22,12 @@
 //	morcd -submit -server http://localhost:8077 -workload gcc -telemetry 10000000 -wait
 //	morcd -submit -server http://localhost:8077 -exp fig6 -wait
 //	morcd -submit -server http://localhost:8077 -cancel j000001
+//	morcd -submit -server http://localhost:8077 -trace j000001
+//
+// Submissions from the CLI carry a W3C traceparent, so the exported
+// trace (GET /v1/jobs/{id}/trace, or -trace above) starts at the client
+// submit and descends through queue wait, the run, and every simulation
+// phase — across the coordinator hop in cluster mode.
 //
 // A serving instance also exposes runtime introspection: /debug/pprof/
 // for profiles, /debug/vars for expvar, /metrics for Prometheus, and
@@ -76,11 +82,12 @@ func main() {
 		epoch     = flag.Uint64("telemetry", 0, "record a telemetry epoch every N instructions (0 = off)")
 		wait      = flag.Bool("wait", false, "poll until the job finishes and print the final view")
 		cancelID  = flag.String("cancel", "", "cancel the given job id instead of submitting")
+		traceID   = flag.String("trace", "", "print the given job's trace instead of submitting")
 	)
 	flag.Parse()
 
-	if *submit || *cancelID != "" {
-		if err := runClient(*serverURL, *workload, *mix, *expID, *scheme, *budget, *cancelID, *epoch, *wait); err != nil {
+	if *submit || *cancelID != "" || *traceID != "" {
+		if err := runClient(*serverURL, *workload, *mix, *expID, *scheme, *budget, *cancelID, *traceID, *epoch, *wait); err != nil {
 			fmt.Fprintln(os.Stderr, "morcd:", err)
 			os.Exit(1)
 		}
@@ -202,8 +209,9 @@ func announce(ctx context.Context, logger *slog.Logger, coordURL, advertiseURL, 
 	}
 }
 
-// runClient implements -submit / -cancel against a running server.
-func runClient(baseURL, workload, mix, expID, scheme, budget, cancelID string, epoch uint64, wait bool) error {
+// runClient implements -submit / -cancel / -trace against a running
+// server.
+func runClient(baseURL, workload, mix, expID, scheme, budget, cancelID, traceID string, epoch uint64, wait bool) error {
 	c := client.New(baseURL)
 	ctx := context.Background()
 
@@ -214,6 +222,13 @@ func runClient(baseURL, workload, mix, expID, scheme, budget, cancelID string, e
 		}
 		return printJSON(v)
 	}
+	if traceID != "" {
+		te, err := c.Trace(ctx, traceID)
+		if err != nil {
+			return err
+		}
+		return printJSON(te)
+	}
 
 	spec := server.JobSpec{Workload: workload, Mix: mix, Experiment: expID, Budget: budget, Telemetry: epoch}
 	if workload != "" || mix != "" {
@@ -223,7 +238,9 @@ func runClient(baseURL, workload, mix, expID, scheme, budget, cancelID string, e
 		}
 		spec.Scheme = sch
 	}
-	v, err := c.Submit(ctx, spec)
+	// SubmitTraced roots the trace at this CLI invocation: the server
+	// synthesizes a client.submit span above its own job span.
+	v, _, err := c.SubmitTraced(ctx, spec)
 	if err != nil {
 		return err
 	}

@@ -54,6 +54,7 @@ func main() {
 		benchMode = flag.Bool("bench", false, "run the in-process 1-peer vs 2-peer topology comparison")
 		workers   = flag.Int("workers-per-peer", 1, "simulation workers per in-process peer (-bench)")
 		out       = flag.String("out", "", "write a morc-bench report to this file (default BENCH_cluster.json with -bench)")
+		phases    = flag.Bool("phases", false, "fetch each completed job's trace and print a per-phase latency breakdown")
 	)
 	flag.Parse()
 
@@ -87,6 +88,9 @@ func main() {
 			os.Exit(1)
 		}
 		stats.print(os.Stdout, *serverURL)
+		if *phases {
+			printPhaseBreakdown(context.Background(), os.Stdout, *serverURL, stats.IDs)
+		}
 		if *out != "" {
 			rep := bench.New("morcload", runtime.NumCPU())
 			rep.Add(stats.entry("load", load, *workers))
@@ -116,6 +120,7 @@ type loadStats struct {
 	Wall      time.Duration
 	SubmitLat []time.Duration // time to the 202, per job
 	E2ELat    []time.Duration // submit to terminal state, per job
+	IDs       []string        // completed job ids, for trace fetches
 }
 
 // runLoad fires cfg.Jobs submissions at baseURL, cfg.Concurrency at a
@@ -177,6 +182,7 @@ func runLoad(ctx context.Context, baseURL string, cfg loadConfig) (*loadStats, e
 			stats.Completed++
 			stats.SubmitLat = append(stats.SubmitLat, submitLat)
 			stats.E2ELat = append(stats.E2ELat, e2e)
+			stats.IDs = append(stats.IDs, v.ID)
 		}()
 	}
 	wg.Wait()
@@ -212,6 +218,48 @@ func (s *loadStats) print(w io.Writer, target string) {
 		percentile(s.SubmitLat, 50), percentile(s.SubmitLat, 90), percentile(s.SubmitLat, 99))
 	fmt.Fprintf(w, "e2e ms      p50 %.2f  p90 %.2f  p99 %.2f\n",
 		percentile(s.E2ELat, 50), percentile(s.E2ELat, 90), percentile(s.E2ELat, 99))
+}
+
+// printPhaseBreakdown fetches each completed job's trace and prints
+// per-phase latency percentiles, keyed service:span (coordinator queue
+// wait, peer queue wait, the run itself, every sim phase). The traces
+// were recorded anyway — this just reads them back, so the breakdown
+// adds no load-path overhead.
+func printPhaseBreakdown(ctx context.Context, w io.Writer, baseURL string, ids []string) {
+	cl := client.New(baseURL)
+	byPhase := map[string][]time.Duration{}
+	fetched, failed := 0, 0
+	for _, id := range ids {
+		te, err := cl.Trace(ctx, id)
+		if err != nil {
+			failed++
+			continue
+		}
+		fetched++
+		for _, sp := range te.Spans {
+			if sp.End == 0 {
+				continue // open span (should not happen for a done job)
+			}
+			key := sp.Service + ":" + sp.Name
+			byPhase[key] = append(byPhase[key], time.Duration(sp.End-sp.Start))
+		}
+	}
+	keys := make([]string, 0, len(byPhase))
+	for k := range byPhase {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "\nphase breakdown (%d traces", fetched)
+	if failed > 0 {
+		fmt.Fprintf(w, ", %d fetch errors", failed)
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintf(w, "%-28s %7s %10s %10s %10s\n", "span", "count", "p50 ms", "p90 ms", "p99 ms")
+	for _, k := range keys {
+		lats := byPhase[k]
+		fmt.Fprintf(w, "%-28s %7d %10.2f %10.2f %10.2f\n", k, len(lats),
+			percentile(lats, 50), percentile(lats, 90), percentile(lats, 99))
+	}
 }
 
 // entry renders the run as one morc-bench report entry.

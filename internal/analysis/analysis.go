@@ -68,6 +68,7 @@ func AllPasses() []Pass {
 		&CtxLeak{},
 		&Invariants{},
 		&BoundedGrowth{},
+		&SpanBalance{},
 	}
 }
 

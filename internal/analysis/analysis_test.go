@@ -153,7 +153,7 @@ func TestPassMetadata(t *testing.T) {
 		}
 		names[p.Name()] = true
 	}
-	for _, want := range []string{"detrand", "lockhold", "ctxleak", "invariants", "boundedgrowth"} {
+	for _, want := range []string{"detrand", "lockhold", "ctxleak", "invariants", "boundedgrowth", "spanbalance"} {
 		if !names[want] {
 			t.Errorf("pass %s missing from AllPasses", want)
 		}

@@ -27,7 +27,7 @@ func (*BoundedGrowth) Doc() string {
 }
 
 func (*BoundedGrowth) Scope(prog *Program, u *Unit) bool {
-	return u.Fixture() == "boundedgrowth" || u.InPaths(prog, "internal/sim", "internal/sample")
+	return u.Fixture() == "boundedgrowth" || u.InPaths(prog, "internal/sim", "internal/sample", "internal/obs")
 }
 
 // loopRoots are the names that anchor the per-instruction loop.

@@ -31,7 +31,8 @@ import (
 //     idiom is snapshot-under-lock, round-trip outside, record back
 //     under lock.
 //
-// The pass scans internal/server and internal/cluster.
+// The pass scans internal/server, internal/cluster, and internal/obs
+// (the span store's lock sits on every instrumented request path).
 //
 // The analysis is per-function and flow-approximate: a critical section
 // opens at x.Lock()/x.RLock() (or is function-wide after
@@ -45,7 +46,7 @@ func (*LockHold) Doc() string {
 }
 
 func (*LockHold) Scope(prog *Program, u *Unit) bool {
-	return u.Fixture() == "lockhold" || u.InPaths(prog, "internal/server", "internal/cluster")
+	return u.Fixture() == "lockhold" || u.InPaths(prog, "internal/server", "internal/cluster", "internal/obs")
 }
 
 func (l *LockHold) Run(prog *Program, u *Unit) []Finding {

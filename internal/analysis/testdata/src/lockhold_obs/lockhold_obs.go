@@ -1,0 +1,60 @@
+// Package lockhold_obs is a morclint fixture mirroring the obs span
+// store: internal/obs is in lockhold's scope, so no blocking operation
+// may run while the store mutex is held. The store sits on every
+// StartSpan/End call across the server and cluster — a blocked export
+// under its lock would stall every instrumented request.
+package lockhold_obs
+
+import (
+	"io"
+	"sync"
+)
+
+type span struct {
+	name string
+	end  int64
+}
+
+type store struct {
+	mu    sync.Mutex
+	spans []*span
+	subs  chan *span
+}
+
+func (s *store) addBad(sp *span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spans = append(s.spans, sp)
+	s.subs <- sp // want "sends on s.subs while holding s.mu"
+}
+
+func (s *store) exportBad(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.spans {
+		w.Write([]byte("span\n")) // want "calls Write on interface-typed w while holding s.mu"
+	}
+}
+
+// addGood follows the enforced idiom: mutate under the lock, notify
+// outside it (or non-blockingly).
+func (s *store) addGood(sp *span) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sp)
+	s.mu.Unlock()
+	select {
+	case s.subs <- sp:
+	default:
+	}
+}
+
+// exportGood snapshots under the lock and writes after release.
+func (s *store) exportGood(w io.Writer) {
+	s.mu.Lock()
+	snap := make([]*span, len(s.spans))
+	copy(snap, s.spans)
+	s.mu.Unlock()
+	for range snap {
+		w.Write([]byte("span\n"))
+	}
+}

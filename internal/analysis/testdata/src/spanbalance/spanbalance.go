@@ -1,0 +1,92 @@
+// Package spanbalance is a morclint fixture: spans that start but can
+// never be ended, next to every handling pattern the pass must accept.
+// The local Span/Tracer mirror morc/internal/obs (fixtures cannot
+// import module packages); the pass matches StartSpan by name.
+package spanbalance
+
+// Span mimics obs.ActiveSpan.
+type Span struct{ ended bool }
+
+func (s *Span) End()                        { s.ended = true }
+func (s *Span) SetAttr(k, v string)         {}
+func (s *Span) StartSpan(name string) *Span { return &Span{} }
+
+// Tracer mimics obs.Tracer.
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string) *Span { return &Span{} }
+
+func discardedStmt(t *Tracer) {
+	t.StartSpan("op") // want "span from StartSpan is discarded; nothing can ever End it"
+}
+
+func discardedBlank(t *Tracer) {
+	_ = t.StartSpan("op") // want "span from StartSpan is discarded as _"
+}
+
+func conditionalEndOnly(t *Tracer, cond bool) {
+	sp := t.StartSpan("op") // want "span sp is neither deferred-ended nor stored"
+	if cond {
+		sp.End()
+	}
+}
+
+func straightLineEndOnly(t *Tracer, risky func()) {
+	sp := t.StartSpan("op") // want "span sp is neither deferred-ended nor stored"
+	risky()                 // a panic here leaves sp open forever
+	sp.End()
+}
+
+func deferredEnd(t *Tracer) {
+	sp := t.StartSpan("op")
+	defer sp.End()
+	sp.SetAttr("k", "v")
+}
+
+func deferredInsideLiteral(t *Tracer) {
+	sp := t.StartSpan("op")
+	defer func() {
+		sp.SetAttr("status", "done")
+		sp.End()
+	}()
+}
+
+func deferredAsArgument(t *Tracer, endAll func(*Span)) {
+	sp := t.StartSpan("op")
+	defer endAll(sp)
+}
+
+type job struct {
+	span    *Span
+	phaseSp *Span
+}
+
+func storedInField(t *Tracer, j *job) {
+	j.span = t.StartSpan("job")
+}
+
+func storedViaLocal(sp *Span, j *job) {
+	child := sp.StartSpan("phase")
+	child.SetAttr("instr", "1000")
+	j.phaseSp = child
+}
+
+func passedToOwner(t *Tracer, adopt func(*Span)) {
+	sp := t.StartSpan("op")
+	adopt(sp)
+}
+
+func inCompositeLit(t *Tracer) *job {
+	sp := t.StartSpan("job")
+	return &job{span: sp}
+}
+
+func returned(t *Tracer) *Span {
+	sp := t.StartSpan("op")
+	return sp
+}
+
+func sentToCloser(t *Tracer, done chan *Span) {
+	sp := t.StartSpan("op")
+	done <- sp
+}

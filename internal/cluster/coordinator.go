@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"morc/internal/obs"
 	"morc/internal/server"
 	"morc/internal/server/client"
 )
@@ -126,6 +127,12 @@ type Coordinator struct {
 	q       *queue
 	metrics *cmetrics
 
+	// Tracing: the coordinator's half of every job trace (job root,
+	// queue and dispatch spans); the owning peer's spans share the trace
+	// ID and are merged in by Trace.
+	spans  *obs.Store
+	tracer *obs.Tracer
+
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
@@ -142,12 +149,15 @@ type Coordinator struct {
 func New(cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	spans := obs.NewStore(0, 0)
 	c := &Coordinator{
 		cfg:     cfg,
 		log:     cfg.Logger,
 		reg:     newRegistry(cfg),
 		q:       newQueue(cfg.QueueDepth),
 		metrics: newCMetrics(),
+		spans:   spans,
+		tracer:  obs.NewTracer("coordinator", spans),
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    map[string]*cjob{},
@@ -183,18 +193,36 @@ func (c *Coordinator) AddPeer(url string) bool {
 // Peers snapshots the registry for /v1/cluster/peers.
 func (c *Coordinator) Peers() []PeerView { return c.reg.snapshot() }
 
-// Submit validates the spec and enqueues a cluster job.
+// Submit validates the spec and enqueues a cluster job with a fresh
+// trace.
 func (c *Coordinator) Submit(spec server.JobSpec) (*cjob, error) {
+	return c.SubmitTraced(spec, obs.SpanContext{}, false)
+}
+
+// SubmitTraced is Submit with trace propagation, mirroring the
+// single-node server: parent (from a traceparent header) parents the job
+// span, and synthesizeClient records the caller's submit span for it.
+func (c *Coordinator) SubmitTraced(spec server.JobSpec, parent obs.SpanContext, synthesizeClient bool) (*cjob, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if synthesizeClient && parent.Valid() {
+		c.tracer.SynthesizeRoot(parent, "client", "client.submit")
+	}
+	span := c.tracer.StartSpan(parent, "job")
+	span.SetAttr("kind", schemeLabel(spec))
+	queueSp := span.StartSpan("queue")
+
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		queueSp.End()
+		span.SetAttr("status", "rejected")
+		span.End()
 		return nil, server.ErrShuttingDown
 	}
 	c.nextID++
-	j := newCJob(fmt.Sprintf("c%06d", c.nextID), spec)
+	j := newCJob(fmt.Sprintf("c%06d", c.nextID), spec, span, queueSp)
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
 	c.mu.Unlock()
@@ -206,11 +234,66 @@ func (c *Coordinator) Submit(spec server.JobSpec) (*cjob, error) {
 		c.order = c.order[:len(c.order)-1]
 		c.mu.Unlock()
 		c.metrics.rejected()
+		queueSp.End()
+		span.SetAttr("status", "rejected")
+		span.End()
 		return nil, server.ErrQueueFull
 	}
 	c.metrics.submitted()
-	c.log.Info("job queued", "job", j.id)
+	c.log.Info("job queued", "job", j.id, "trace", j.traceID.String())
 	return j, nil
+}
+
+// schemeLabel mirrors the single-node server's job-kind label.
+func schemeLabel(sp server.JobSpec) string {
+	if sp.Experiment != "" {
+		return "exp:" + sp.Experiment
+	}
+	return sp.Scheme.String()
+}
+
+// Trace exports a cluster job's full span tree: the coordinator's own
+// spans (submit, queue, dispatch attempts) merged with the owning peer's
+// (job, queue, run, sim phases), which share the trace ID via
+// traceparent propagation on dispatch. When the peer cannot be reached —
+// job still pending, peer ejected — the coordinator half is returned
+// alone rather than failing the export.
+func (c *Coordinator) Trace(id string) (obs.TraceExport, bool) {
+	j, ok := c.Job(id)
+	if !ok || j.traceID.IsZero() {
+		return obs.TraceExport{}, false
+	}
+	te, ok := c.spans.Export(j.traceID)
+	if !ok {
+		return obs.TraceExport{}, false
+	}
+	peerURL, remoteID, _, _, _ := j.placement()
+	if peerURL == "" || remoteID == "" {
+		return te, true // never dispatched (or mid-failover): no peer half
+	}
+	cl := c.reg.clientFor(peerURL)
+	if cl == nil {
+		return te, true
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.ProbeTimeout)
+	defer cancel()
+	remote, err := cl.Trace(ctx, remoteID)
+	if err != nil {
+		return te, true
+	}
+	seen := make(map[string]bool, len(te.Spans))
+	for _, sp := range te.Spans {
+		seen[sp.SpanID] = true
+	}
+	for _, sp := range remote.Spans {
+		// The client-synthesized submit span can exist on both sides when
+		// a CLI marker was forwarded; keep the coordinator's copy.
+		if !seen[sp.SpanID] {
+			te.Spans = append(te.Spans, sp)
+		}
+	}
+	te.Dropped += remote.Dropped
+	return te, true
 }
 
 // Job looks up a cluster job by ID.
@@ -306,7 +389,7 @@ func (c *Coordinator) peerCall(f func(context.Context) (server.JobView, error)) 
 // claim time, so a failover while this runner is mid-flight turns the
 // rest of its work into no-ops.
 func (c *Coordinator) runOne(peerURL string, j *cjob) {
-	epoch, prevPeer, ok := j.claim(peerURL)
+	epoch, prevPeer, dispatchSC, ok := j.claim(peerURL)
 	if !ok {
 		return // cancelled or failed over while queued
 	}
@@ -320,8 +403,10 @@ func (c *Coordinator) runOne(peerURL string, j *cjob) {
 		return
 	}
 
+	// The dispatch span context rides the submit as a traceparent
+	// header, so the peer's spans join this job's trace.
 	v, err := c.peerCall(func(ctx context.Context) (server.JobView, error) {
-		return cl.Submit(ctx, j.spec)
+		return cl.SubmitWithTrace(ctx, j.spec, dispatchSC)
 	})
 	if err != nil {
 		if c.reg.recordDispatchError(peerURL, time.Now()) {

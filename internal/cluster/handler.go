@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"morc/internal/obs"
 	"morc/internal/server"
 )
 
@@ -25,11 +26,13 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", c.proxyHandler("/events"))
 	mux.HandleFunc("GET /v1/jobs/{id}/timeseries", c.proxyHandler("/timeseries"))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleTrace)
 	mux.HandleFunc("GET /v1/schemes", server.HandleSchemes)
 	mux.HandleFunc("GET /v1/workloads", server.HandleWorkloads)
 	mux.HandleFunc("POST /v1/cluster/join", c.handleJoin)
 	mux.HandleFunc("GET /v1/cluster/peers", c.handlePeers)
 	mux.HandleFunc("GET /v1/cluster/jobs/{id}", c.handlePlacement)
+	mux.HandleFunc("GET /v1/cluster/overview", c.handleOverview)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -62,7 +65,11 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := c.Submit(spec)
+	// A traceparent header links the cluster job into the caller's
+	// trace, exactly as on a single morcd (a client cannot tell the two
+	// apart).
+	parent, _ := obs.Extract(r.Header)
+	j, err := c.SubmitTraced(spec, parent, obs.ClientMarked(r.Header))
 	switch {
 	case errors.Is(err, server.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -135,6 +142,28 @@ func (c *Coordinator) handlePeers(w http.ResponseWriter, r *http.Request) {
 	}{c.Peers()})
 }
 
+// handleTrace serves GET /v1/jobs/{id}/trace: the coordinator's spans
+// merged with the owning peer's, as JSON or NDJSON (?format=ndjson) —
+// the same surface a single morcd serves.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	te, ok := c.Trace(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		te.WriteNDJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	te.WriteJSON(w)
+}
+
+func (c *Coordinator) handleOverview(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Overview())
+}
+
 // PlacementView is the JSON shape of GET /v1/cluster/jobs/{id}: where a
 // cluster job currently runs and how often it has failed over.
 type PlacementView struct {
@@ -193,6 +222,9 @@ func (c *Coordinator) proxyHandler(suffix string) http.HandlerFunc {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
+		// Trace context crosses the proxy hop too, so even byte-verbatim
+		// forwards stay correlated.
+		obs.Forward(req.Header, r.Header)
 		// Deliberately no client timeout: SSE streams live as long as
 		// the job runs, bounded by the request context instead.
 		resp, err := (&http.Client{}).Do(req)

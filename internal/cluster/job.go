@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
+	"morc/internal/obs"
 	"morc/internal/server"
 )
 
@@ -32,15 +34,28 @@ type cjob struct {
 	terminal  bool
 	view      server.JobView // last known view (remote ID; rewritten when served)
 	done      chan struct{}
+
+	// Tracing: the coordinator-side half of the job's trace. span is the
+	// root, queueSp covers time in the pending queue, dispatchSp one
+	// dispatch attempt (a failover closes it and opens a fresh queue
+	// span, so the trace narrates every generation). The peer's spans
+	// join the same trace via traceparent propagation on dispatch.
+	traceID    obs.TraceID
+	span       *obs.ActiveSpan
+	queueSp    *obs.ActiveSpan
+	dispatchSp *obs.ActiveSpan
 }
 
-func newCJob(id string, spec server.JobSpec) *cjob {
+func newCJob(id string, spec server.JobSpec, span, queueSp *obs.ActiveSpan) *cjob {
 	j := &cjob{
 		id:      id,
 		spec:    spec,
 		epoch:   1,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		traceID: span.Context().TraceID,
+		span:    span,
+		queueSp: queueSp,
 	}
 	j.view = j.pendingViewLocked(server.StatusQueued)
 	return j
@@ -54,15 +69,24 @@ func (j *cjob) pendingViewLocked(st server.Status) server.JobView {
 
 // claim transfers a pending job to a runner. prevPeer reports who owned
 // it before a failover ("" on first dispatch) so the caller can count
-// steals; ok is false for jobs that are terminal or already owned.
-func (j *cjob) claim(peerURL string) (epoch uint64, prevPeer string, ok bool) {
+// steals; ok is false for jobs that are terminal or already owned. The
+// queue span ends here and a dispatch span opens; dispatch is its
+// context, for the runner to propagate to the peer.
+func (j *cjob) claim(peerURL string) (epoch uint64, prevPeer string, dispatch obs.SpanContext, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.terminal || j.peer != "" {
-		return 0, "", false
+		return 0, "", obs.SpanContext{}, false
 	}
 	j.peer = peerURL
-	return j.epoch, j.lastPeer, true
+	j.queueSp.End()
+	j.queueSp = nil
+	sp := j.span.StartSpan("dispatch")
+	sp.SetAttr("peer", peerURL)
+	sp.SetAttr("epoch", strconv.FormatUint(j.epoch, 10))
+	sp.SetAttr("stolen", strconv.FormatBool(j.lastPeer != "" && j.lastPeer != peerURL))
+	j.dispatchSp = sp
+	return j.epoch, j.lastPeer, sp.Context(), true
 }
 
 // bind records the remote job the claim turned into. It fails when the
@@ -89,6 +113,17 @@ func (j *cjob) updateView(epoch uint64, v server.JobView) {
 	j.view = v
 }
 
+// endSpansLocked closes every open coordinator-side span as the job
+// reaches terminal state st. Callers hold j.mu.
+func (j *cjob) endSpansLocked(st server.Status) {
+	j.dispatchSp.End()
+	j.dispatchSp = nil
+	j.queueSp.End()
+	j.queueSp = nil
+	j.span.SetAttr("status", string(st))
+	j.span.End()
+}
+
 // adopt lands a terminal remote view. False means the result lost the
 // fence — the job was re-dispatched (or already finished) — and must be
 // discarded.
@@ -100,6 +135,7 @@ func (j *cjob) adopt(epoch uint64, v server.JobView) bool {
 	}
 	j.terminal = true
 	j.view = v
+	j.endSpansLocked(v.Status)
 	close(j.done)
 	return true
 }
@@ -123,11 +159,16 @@ func (j *cjob) requeue(epoch uint64, maxRequeues int, reason string) (ok bool, f
 	j.remoteID = ""
 	j.epoch++
 	j.requeues++
+	// The dispatch attempt is over either way; its span records why.
+	j.dispatchSp.SetAttr("requeued", reason)
+	j.dispatchSp.End()
+	j.dispatchSp = nil
 	if j.requeues > maxRequeues {
 		j.terminal = true
 		v := j.pendingViewLocked(server.StatusFailed)
 		v.Error = "job failed over too many times: " + reason
 		j.view = v
+		j.endSpansLocked(server.StatusFailed)
 		close(j.done)
 		return false, server.StatusFailed, fromPeer
 	}
@@ -136,10 +177,12 @@ func (j *cjob) requeue(epoch uint64, maxRequeues int, reason string) (ok bool, f
 		// re-dispatching work nobody wants.
 		j.terminal = true
 		j.view = j.pendingViewLocked(server.StatusCancelled)
+		j.endSpansLocked(server.StatusCancelled)
 		close(j.done)
 		return false, server.StatusCancelled, fromPeer
 	}
 	j.view = j.pendingViewLocked(server.StatusQueued)
+	j.queueSp = j.span.StartSpan("queue")
 	return true, "", fromPeer
 }
 
@@ -164,6 +207,7 @@ func (j *cjob) requestCancel() (act cancelAction, peerURL, remoteID string) {
 		j.cancelled = true
 		j.terminal = true
 		j.view = j.pendingViewLocked(server.StatusCancelled)
+		j.endSpansLocked(server.StatusCancelled)
 		close(j.done)
 		return cancelFinished, "", ""
 	case j.remoteID == "":
@@ -183,12 +227,16 @@ func (j *cjob) placement() (peerURL, remoteID string, epoch uint64, requeues int
 
 // serveView is the view served over the coordinator's API: the cached
 // remote view with the job's cluster-wide ID in place of the peer-local
-// one.
+// one. The trace ID is the coordinator's, which the peer shares (the
+// dispatch propagated it), so it is set even while the job is pending.
 func (j *cjob) serveView() server.JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := j.view
 	v.ID = j.id
+	if !j.traceID.IsZero() {
+		v.TraceID = j.traceID.String()
+	}
 	return v
 }
 

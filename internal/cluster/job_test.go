@@ -11,13 +11,13 @@ func testSpec() server.JobSpec {
 }
 
 func TestClaimBindAdoptHappyPath(t *testing.T) {
-	j := newCJob("c000001", testSpec())
+	j := newCJob("c000001", testSpec(), nil, nil)
 
-	epoch, prev, ok := j.claim("http://a")
+	epoch, prev, _, ok := j.claim("http://a")
 	if !ok || epoch != 1 || prev != "" {
 		t.Fatalf("claim = (%d, %q, %v), want (1, \"\", true)", epoch, prev, ok)
 	}
-	if _, _, ok := j.claim("http://b"); ok {
+	if _, _, _, ok := j.claim("http://b"); ok {
 		t.Fatal("second claim on an owned job succeeded")
 	}
 
@@ -47,8 +47,8 @@ func TestClaimBindAdoptHappyPath(t *testing.T) {
 // updateView, adopt — is a no-op, and the re-dispatched generation's
 // result is the only one that lands.
 func TestLateResultLosesFence(t *testing.T) {
-	j := newCJob("c000001", testSpec())
-	e1, _, _ := j.claim("http://a")
+	j := newCJob("c000001", testSpec(), nil, nil)
+	e1, _, _, _ := j.claim("http://a")
 
 	ok, finishedAs, from := j.requeue(e1, 3, "peer died")
 	if !ok || finishedAs != "" || from != "http://a" {
@@ -69,7 +69,7 @@ func TestLateResultLosesFence(t *testing.T) {
 	}
 
 	// The new generation proceeds normally, crediting the steal.
-	e2, prev, ok := j.claim("http://b")
+	e2, prev, _, ok := j.claim("http://b")
 	if !ok || e2 != e1+1 || prev != "http://a" {
 		t.Fatalf("reclaim = (%d, %q, %v), want (%d, http://a, true)", e2, prev, ok, e1+1)
 	}
@@ -82,8 +82,8 @@ func TestLateResultLosesFence(t *testing.T) {
 // observe the same epoch and both call requeue, but only the first one
 // wins — so one peer death requeues each job exactly once.
 func TestRequeueExactlyOncePerGeneration(t *testing.T) {
-	j := newCJob("c000001", testSpec())
-	e1, _, _ := j.claim("http://a")
+	j := newCJob("c000001", testSpec(), nil, nil)
+	e1, _, _, _ := j.claim("http://a")
 
 	if ok, _, _ := j.requeue(e1, 3, "runner noticed"); !ok {
 		t.Fatal("first requeue lost")
@@ -94,10 +94,10 @@ func TestRequeueExactlyOncePerGeneration(t *testing.T) {
 }
 
 func TestRequeueBudgetExhaustedFailsJob(t *testing.T) {
-	j := newCJob("c000001", testSpec())
+	j := newCJob("c000001", testSpec(), nil, nil)
 	const budget = 2
 	for i := 0; i < budget; i++ {
-		e, _, ok := j.claim("http://a")
+		e, _, _, ok := j.claim("http://a")
 		if !ok {
 			t.Fatalf("claim %d failed", i)
 		}
@@ -105,7 +105,7 @@ func TestRequeueBudgetExhaustedFailsJob(t *testing.T) {
 			t.Fatalf("requeue %d = (%v, %q), want (true, \"\")", i, ok, finishedAs)
 		}
 	}
-	e, _, _ := j.claim("http://a")
+	e, _, _, _ := j.claim("http://a")
 	ok, finishedAs, _ := j.requeue(e, budget, "boom")
 	if ok || finishedAs != server.StatusFailed {
 		t.Fatalf("exhausted requeue = (%v, %q), want (false, failed)", ok, finishedAs)
@@ -117,7 +117,7 @@ func TestRequeueBudgetExhaustedFailsJob(t *testing.T) {
 }
 
 func TestCancelPendingJobFinishesImmediately(t *testing.T) {
-	j := newCJob("c000001", testSpec())
+	j := newCJob("c000001", testSpec(), nil, nil)
 	act, _, _ := j.requestCancel()
 	if act != cancelFinished {
 		t.Fatalf("cancel action = %v, want cancelFinished", act)
@@ -135,8 +135,8 @@ func TestCancelPendingJobFinishesImmediately(t *testing.T) {
 // the cancel flags it and the runner's bind must fail (and orphan-kill
 // the remote job it just created).
 func TestCancelDuringDispatchFailsBind(t *testing.T) {
-	j := newCJob("c000001", testSpec())
-	e, _, _ := j.claim("http://a")
+	j := newCJob("c000001", testSpec(), nil, nil)
+	e, _, _, _ := j.claim("http://a")
 	act, _, _ := j.requestCancel()
 	if act != cancelPending {
 		t.Fatalf("cancel action = %v, want cancelPending", act)
@@ -150,8 +150,8 @@ func TestCancelDuringDispatchFailsBind(t *testing.T) {
 // then its peer dies. The failover requeue must finish it as cancelled
 // instead of re-dispatching work nobody wants.
 func TestCancelRacesFailover(t *testing.T) {
-	j := newCJob("c000001", testSpec())
-	e, _, _ := j.claim("http://a")
+	j := newCJob("c000001", testSpec(), nil, nil)
+	e, _, _, _ := j.claim("http://a")
 	if act, _, _ := j.requestCancel(); act != cancelPending {
 		t.Fatal("expected cancelPending")
 	}
@@ -165,8 +165,8 @@ func TestCancelRacesFailover(t *testing.T) {
 }
 
 func TestCancelBoundJobRoutesToPeer(t *testing.T) {
-	j := newCJob("c000001", testSpec())
-	e, _, _ := j.claim("http://a")
+	j := newCJob("c000001", testSpec(), nil, nil)
+	e, _, _, _ := j.claim("http://a")
 	j.bind(e, "j000042", server.JobView{Status: server.StatusRunning})
 	act, peer, remote := j.requestCancel()
 	if act != cancelRemote || peer != "http://a" || remote != "j000042" {
@@ -175,8 +175,8 @@ func TestCancelBoundJobRoutesToPeer(t *testing.T) {
 }
 
 func TestOwnedAt(t *testing.T) {
-	j := newCJob("c000001", testSpec())
-	e, _, _ := j.claim("http://a")
+	j := newCJob("c000001", testSpec(), nil, nil)
+	e, _, _, _ := j.claim("http://a")
 	if !j.ownedAt(e) {
 		t.Fatal("ownedAt(current) = false")
 	}
@@ -184,7 +184,7 @@ func TestOwnedAt(t *testing.T) {
 	if j.ownedAt(e) {
 		t.Fatal("ownedAt(stale) = true after failover")
 	}
-	e2, _, _ := j.claim("http://b")
+	e2, _, _, _ := j.claim("http://b")
 	j.adopt(e2, server.JobView{Status: server.StatusDone})
 	if j.ownedAt(e2) {
 		t.Fatal("ownedAt = true on a terminal job")

@@ -114,6 +114,12 @@ func writeMetrics(dst io.Writer, cts counts, peers []PeerView, pending, queueCap
 		fmt.Fprintf(w, "morcd_cluster_probe_failures_total{peer=%q} %d\n", p.URL, p.ProbeFailures)
 	}
 
+	fmt.Fprintln(w, "# HELP morcd_cluster_peer_ejections_total Times the peer was ejected after consecutive failures.")
+	fmt.Fprintln(w, "# TYPE morcd_cluster_peer_ejections_total counter")
+	for _, p := range peers {
+		fmt.Fprintf(w, "morcd_cluster_peer_ejections_total{peer=%q} %d\n", p.URL, p.Ejections)
+	}
+
 	fmt.Fprintln(w, "# HELP morcd_cluster_probe_latency_seconds Latency of the peer's last successful probe.")
 	fmt.Fprintln(w, "# TYPE morcd_cluster_probe_latency_seconds gauge")
 	for _, p := range peers {

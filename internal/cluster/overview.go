@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+
+	"morc/internal/server"
+)
+
+// PeerOverview is one peer in the cluster overview: the registry's
+// health/placement view joined with the peer's own /v1/status snapshot.
+// Status is nil (and StatusError set) when the scrape failed — a down
+// peer still appears in the overview with its registry-side state.
+type PeerOverview struct {
+	PeerView
+	Status      *server.StatusView `json:"status,omitempty"`
+	StatusError string             `json:"status_error,omitempty"`
+}
+
+// OverviewTotals aggregates the reachable peers' status snapshots.
+type OverviewTotals struct {
+	PeersUp     int    `json:"peers_up"`
+	PeersDown   int    `json:"peers_down"`
+	Workers     int    `json:"workers"`
+	WorkersBusy int    `json:"workers_busy"`
+	QueueDepth  int    `json:"queue_depth"` // jobs queued on peers
+	JobsRun     uint64 `json:"jobs_run"`    // done+failed+cancelled across peers
+	JobsFailed  uint64 `json:"jobs_failed"`
+	SSEDropped  uint64 `json:"sse_dropped_frames"`
+}
+
+// Overview is GET /v1/cluster/overview: one document answering "what is
+// the cluster doing right now" — coordinator queue state and job
+// counters, per-peer health joined with each peer's live status, and
+// cluster-wide totals.
+type Overview struct {
+	PendingJobs   int    `json:"pending_jobs"` // queued on the coordinator
+	QueueCapacity int    `json:"queue_capacity"`
+	Submitted     uint64 `json:"jobs_submitted"`
+	Rejected      uint64 `json:"jobs_rejected"`
+	Done          uint64 `json:"jobs_done"`
+	Failed        uint64 `json:"jobs_failed"`
+	Cancelled     uint64 `json:"jobs_cancelled"`
+	Requeued      uint64 `json:"jobs_requeued"`
+	LateDiscards  uint64 `json:"late_results_discarded"`
+
+	Peers  []PeerOverview `json:"peers"`
+	Totals OverviewTotals `json:"totals"`
+}
+
+// Overview assembles the cluster-wide snapshot. Peer statuses are
+// scraped concurrently with the single-shot probe clients, bounded by
+// ProbeTimeout, strictly outside every coordinator lock (the same
+// contract the prober follows, enforced by morclint's lockhold pass).
+func (c *Coordinator) Overview() Overview {
+	cts := c.metrics.snapshot()
+	views := c.reg.snapshot()
+	byURL := make(map[string]PeerView, len(views))
+	for _, v := range views {
+		byURL[v.URL] = v
+	}
+
+	targets := c.reg.statusTargets()
+	type outcome struct {
+		url    string
+		status *server.StatusView
+		err    error
+	}
+	results := make(chan outcome, len(targets))
+	for _, t := range targets {
+		go func(t probeTarget) {
+			ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.ProbeTimeout)
+			defer cancel()
+			st, err := t.client.Status(ctx)
+			if err != nil {
+				results <- outcome{url: t.url, err: err}
+				return
+			}
+			results <- outcome{url: t.url, status: &st}
+		}(t)
+	}
+	statuses := make(map[string]outcome, len(targets))
+	for range targets {
+		o := <-results
+		statuses[o.url] = o
+	}
+
+	ov := Overview{
+		PendingJobs:   c.q.len(),
+		QueueCapacity: c.cfg.QueueDepth,
+		Submitted:     cts.Submitted,
+		Rejected:      cts.Rejected,
+		Done:          cts.Done,
+		Failed:        cts.Failed,
+		Cancelled:     cts.Cancelled,
+		Requeued:      cts.Requeued,
+		LateDiscards:  cts.LateDiscards,
+		Peers:         make([]PeerOverview, 0, len(views)),
+	}
+	for _, v := range views {
+		po := PeerOverview{PeerView: v}
+		if o, ok := statuses[v.URL]; ok {
+			if o.err != nil {
+				po.StatusError = o.err.Error()
+			} else {
+				po.Status = o.status
+			}
+		}
+		ov.Peers = append(ov.Peers, po)
+		if v.State == stateUp {
+			ov.Totals.PeersUp++
+		} else {
+			ov.Totals.PeersDown++
+		}
+		if st := po.Status; st != nil {
+			ov.Totals.Workers += st.Workers
+			ov.Totals.WorkersBusy += st.WorkersBusy
+			ov.Totals.QueueDepth += st.QueueDepth
+			ov.Totals.JobsRun += st.Done + st.Failed + st.Cancelled
+			ov.Totals.JobsFailed += st.Failed
+			ov.Totals.SSEDropped += st.SSEDropped
+		}
+	}
+	return ov
+}

@@ -4,7 +4,7 @@ import "testing"
 
 func TestQueueBoundAndOrder(t *testing.T) {
 	q := newQueue(2)
-	a, b, c := newCJob("a", testSpec()), newCJob("b", testSpec()), newCJob("c", testSpec())
+	a, b, c := newCJob("a", testSpec(), nil, nil), newCJob("b", testSpec(), nil, nil), newCJob("c", testSpec(), nil, nil)
 	if !q.push(a) || !q.push(b) {
 		t.Fatal("push within bound failed")
 	}
@@ -30,7 +30,7 @@ func TestQueueBoundAndOrder(t *testing.T) {
 // newer submissions.
 func TestQueuePushFrontJumpsLineAndIgnoresBound(t *testing.T) {
 	q := newQueue(1)
-	a, b := newCJob("a", testSpec()), newCJob("b", testSpec())
+	a, b := newCJob("a", testSpec(), nil, nil), newCJob("b", testSpec(), nil, nil)
 	if !q.push(a) {
 		t.Fatal("push failed")
 	}
@@ -47,8 +47,8 @@ func TestQueuePushFrontJumpsLineAndIgnoresBound(t *testing.T) {
 // means N pushes never strand work behind a single woken runner.
 func TestQueueWakeRearm(t *testing.T) {
 	q := newQueue(8)
-	q.push(newCJob("a", testSpec()))
-	q.push(newCJob("b", testSpec())) // second notify is dropped (cap 1)
+	q.push(newCJob("a", testSpec(), nil, nil))
+	q.push(newCJob("b", testSpec(), nil, nil)) // second notify is dropped (cap 1)
 
 	<-q.wakeCh() // runner 1 wakes, pops a; pop re-arms because b remains
 	if q.pop() == nil {

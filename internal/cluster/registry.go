@@ -37,6 +37,7 @@ type peer struct {
 	stolen       uint64
 	requeued     uint64
 	probeFails   uint64
+	ejections    uint64
 	lateResults  uint64
 	lastProbe    time.Duration // latency of the last successful probe
 	everProbedOK bool
@@ -54,6 +55,7 @@ type PeerView struct {
 	Requeued            uint64  `json:"requeued"`
 	LateResults         uint64  `json:"late_results_discarded"`
 	ProbeFailures       uint64  `json:"probe_failures"`
+	Ejections           uint64  `json:"ejections"`
 	LastProbeMillis     float64 `json:"last_probe_ms"`
 	BackoffSeconds      float64 `json:"backoff_sec,omitempty"`
 }
@@ -151,6 +153,19 @@ func (r *registry) probeTargets(now time.Time) []probeTarget {
 	return out
 }
 
+// statusTargets returns every peer's single-shot probe client, for the
+// cluster-overview scrape (which, like probing, happens outside the
+// lock).
+func (r *registry) statusTargets() []probeTarget {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]probeTarget, 0, len(r.order))
+	for _, url := range r.order {
+		out = append(out, probeTarget{url: url, client: r.peers[url].probe})
+	}
+	return out
+}
+
 // recordProbe folds one health-check outcome into the peer's state and
 // reports whether this observation transitioned the peer up→down (the
 // caller must then fail over the peer's jobs, outside the lock).
@@ -211,6 +226,7 @@ func (r *registry) noteFailure(p *peer, now time.Time) (wentDown bool) {
 	p.fails++
 	if p.up && p.fails >= r.failThreshold {
 		p.up = false
+		p.ejections++
 		p.backoff = r.backoffBase
 		p.nextProbe = now.Add(p.backoff)
 		return true
@@ -289,6 +305,7 @@ func (r *registry) snapshot() []PeerView {
 			Requeued:            p.requeued,
 			LateResults:         p.lateResults,
 			ProbeFailures:       p.probeFails,
+			Ejections:           p.ejections,
 			LastProbeMillis:     float64(p.lastProbe.Microseconds()) / 1000,
 		}
 		if p.up {

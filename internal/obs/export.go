@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TraceExport is one trace's exported form: spans in creation order
+// plus the count of spans the bounded store had to drop. It is also the
+// merge unit — the coordinator concatenates its own spans with the
+// owning peer's export into one TraceExport under the shared trace id.
+type TraceExport struct {
+	TraceID string `json:"trace_id"`
+	Dropped int    `json:"dropped_spans,omitempty"`
+	Spans   []Span `json:"spans"`
+}
+
+// WriteJSON writes the export as one indented JSON document.
+func (e TraceExport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// WriteNDJSON writes one span per line — the streaming-friendly form,
+// mirroring the timeseries endpoint's format switch.
+func (e TraceExport) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range e.Spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShapeOf renders the spans' tree shape as a deterministic multi-line
+// string: hierarchy (indentation), service, name, and sorted
+// attributes. Ids, timestamps, and durations are deliberately excluded
+// — the shape is the thing that must be byte-identical across
+// same-seed runs, while times never are. Siblings keep creation order;
+// spans whose parent is absent from the slice render as roots.
+func ShapeOf(spans []Span) string {
+	byID := make(map[string]int, len(spans))
+	for i, sp := range spans {
+		byID[sp.SpanID] = i
+	}
+	children := make(map[int][]int)
+	var roots []int
+	for i, sp := range spans {
+		if p, ok := byID[sp.ParentID]; ok && sp.ParentID != "" && p != i {
+			children[p] = append(children[p], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var b strings.Builder
+	var render func(i, depth int)
+	render = func(i, depth int) {
+		sp := spans[i]
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(sp.Service)
+		b.WriteByte(':')
+		b.WriteString(sp.Name)
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteByte('{')
+			for j, k := range keys {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%s=%s", k, sp.Attrs[k])
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('\n')
+		for _, c := range children[i] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testClock is a fixed-step clock so durations are pinned.
+func testClock(step time.Duration) func() time.Time {
+	t0 := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * step)
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	st := NewStore(0, 0)
+	tr := NewTracer("svc", st)
+	tr.Now = testClock(time.Millisecond)
+
+	root := tr.StartSpan(SpanContext{}, "job")
+	root.SetAttr("kind", "MORC")
+	child := root.StartSpan("queue")
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child did not inherit trace id")
+	}
+	if d := child.End(); d <= 0 {
+		t.Fatalf("child duration = %v, want > 0", d)
+	}
+	if d := child.End(); d != 0 {
+		t.Fatalf("second End returned %v, want 0 (idempotent)", d)
+	}
+	root.End()
+
+	exp, ok := st.Export(root.Context().TraceID)
+	if !ok {
+		t.Fatal("trace not exported")
+	}
+	if len(exp.Spans) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(exp.Spans))
+	}
+	if exp.Spans[0].Name != "job" || exp.Spans[1].Name != "queue" {
+		t.Fatalf("span order/names wrong: %+v", exp.Spans)
+	}
+	if exp.Spans[1].ParentID != exp.Spans[0].SpanID {
+		t.Fatal("child not parented to root")
+	}
+	if exp.Spans[0].Attrs["kind"] != "MORC" {
+		t.Fatalf("attr lost: %+v", exp.Spans[0].Attrs)
+	}
+	for _, sp := range exp.Spans {
+		if sp.End == 0 || sp.End < sp.Start {
+			t.Fatalf("span %s has bad times: %+v", sp.Name, sp)
+		}
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan(SpanContext{}, "x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	sp.SetAttr("a", "b")
+	if got := sp.End(); got != 0 {
+		t.Fatal("nil span End != 0")
+	}
+	if sp.StartSpan("child") != nil {
+		t.Fatal("nil span started a child")
+	}
+	if sp.Context().Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	tr.SynthesizeRoot(NewRoot(), "client", "submit")
+	if NewTracer("svc", nil) != nil {
+		t.Fatal("NewTracer with nil store should be nil")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewRoot()
+	got, ok := ParseTraceparent(sc.Traceparent())
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"ff-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01",
+		"00-" + strings.Repeat("0", 32) + "-" + sc.SpanID.String() + "-01",  // zero trace id
+		"00-" + sc.TraceID.String() + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-" + strings.ToUpper(sc.TraceID.String()) + "-" + sc.SpanID.String() + "-01",
+		"0g-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01",
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	// Future versions with extra fields parse as long as the 00 layout
+	// prefix holds.
+	if _, ok := ParseTraceparent("cc-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01-extra"); !ok {
+		t.Error("future-version traceparent rejected")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	sc := NewRoot()
+	h := http.Header{}
+	Inject(h, sc)
+	got, ok := Extract(h)
+	if !ok || got != sc {
+		t.Fatalf("Extract = %+v ok=%v, want %+v", got, ok, sc)
+	}
+	if ClientMarked(h) {
+		t.Fatal("plain Inject set the client marker")
+	}
+	h2 := http.Header{}
+	InjectClient(h2, sc)
+	if !ClientMarked(h2) {
+		t.Fatal("InjectClient did not set the client marker")
+	}
+	fwd := http.Header{}
+	Forward(fwd, h2)
+	if got, ok := Extract(fwd); !ok || got != sc || !ClientMarked(fwd) {
+		t.Fatal("Forward lost trace context headers")
+	}
+	// Invalid contexts must not inject.
+	empty := http.Header{}
+	Inject(empty, SpanContext{})
+	if empty.Get(TraceparentHeader) != "" {
+		t.Fatal("Inject wrote an invalid context")
+	}
+}
+
+func TestStoreBounds(t *testing.T) {
+	st := NewStore(2, 3)
+	tr := NewTracer("svc", st)
+	tr.Now = testClock(time.Microsecond)
+
+	var roots []*ActiveSpan
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan(SpanContext{}, fmt.Sprintf("t%d", i))
+		defer sp.End()
+		roots = append(roots, sp)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d traces, want 2 after FIFO eviction", st.Len())
+	}
+	if _, ok := st.Export(roots[0].Context().TraceID); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+
+	// Per-trace span cap: drops are counted, never silent.
+	keep := roots[2]
+	for i := 0; i < 5; i++ {
+		c := keep.StartSpan(fmt.Sprintf("c%d", i))
+		defer c.End()
+	}
+	exp, ok := st.Export(keep.Context().TraceID)
+	if !ok {
+		t.Fatal("kept trace missing")
+	}
+	if len(exp.Spans) != 3 {
+		t.Fatalf("trace holds %d spans, want 3 (cap)", len(exp.Spans))
+	}
+	if exp.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", exp.Dropped)
+	}
+}
+
+func TestSynthesizeRootOnce(t *testing.T) {
+	st := NewStore(0, 0)
+	tr := NewTracer("morcd", st)
+	tr.Now = testClock(time.Microsecond)
+	sc := NewRoot()
+	tr.SynthesizeRoot(sc, "client", "client.submit")
+	tr.SynthesizeRoot(sc, "client", "client.submit") // retry: no duplicate
+	job := tr.StartSpan(sc, "job")
+	defer job.End()
+
+	exp, ok := st.Export(sc.TraceID)
+	if !ok || len(exp.Spans) != 2 {
+		t.Fatalf("export = %+v ok=%v, want exactly synthesized root + job", exp, ok)
+	}
+	if exp.Spans[0].Name != "client.submit" || exp.Spans[0].Attrs["synthesized"] != "true" {
+		t.Fatalf("synthesized root wrong: %+v", exp.Spans[0])
+	}
+	if exp.Spans[0].Start != exp.Spans[0].End {
+		t.Fatal("synthesized root should be zero-duration")
+	}
+	if exp.Spans[1].ParentID != sc.SpanID.String() {
+		t.Fatal("job not parented to the synthesized root")
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	st := NewStore(0, 0)
+	tr := NewTracer("svc", st)
+	tr.Now = testClock(time.Microsecond)
+	root := tr.StartSpan(SpanContext{}, "a")
+	child := root.StartSpan("b")
+	child.End()
+	root.End()
+	exp, _ := st.Export(root.Context().TraceID)
+
+	var buf bytes.Buffer
+	if err := exp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back TraceExport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 2 || back.TraceID != exp.TraceID {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+
+	buf.Reset()
+	if err := exp.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON has %d lines, want 2", len(lines))
+	}
+	for _, ln := range lines {
+		var sp Span
+		if err := json.Unmarshal([]byte(ln), &sp); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestShapeOf(t *testing.T) {
+	st := NewStore(0, 0)
+	tr := NewTracer("svc", st)
+	tr.Now = testClock(time.Microsecond)
+	root := tr.StartSpan(SpanContext{}, "job")
+	q := root.StartSpan("queue")
+	q.End()
+	run := root.StartSpan("run")
+	p := run.StartSpan("sim.warmup")
+	p.SetAttr("instr", "0")
+	p.End()
+	run.End()
+	root.End()
+	exp, _ := st.Export(root.Context().TraceID)
+
+	want := "svc:job\n" +
+		"  svc:queue\n" +
+		"  svc:run\n" +
+		"    svc:sim.warmup{instr=0}\n"
+	if got := ShapeOf(exp.Spans); got != want {
+		t.Fatalf("ShapeOf:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Shape excludes ids and times: a second identical trace renders the
+	// same bytes.
+	root2 := tr.StartSpan(SpanContext{}, "job")
+	q2 := root2.StartSpan("queue")
+	q2.End()
+	run2 := root2.StartSpan("run")
+	p2 := run2.StartSpan("sim.warmup")
+	p2.SetAttr("instr", "0")
+	p2.End()
+	run2.End()
+	root2.End()
+	exp2, _ := st.Export(root2.Context().TraceID)
+	if ShapeOf(exp2.Spans) != want {
+		t.Fatal("same structure rendered a different shape")
+	}
+
+	// A span whose parent is absent from the slice renders as a root.
+	orphan := []Span{{SpanID: "s1", ParentID: "missing", Service: "x", Name: "n"}}
+	if got := ShapeOf(orphan); got != "x:n\n" {
+		t.Fatalf("orphan shape = %q", got)
+	}
+}

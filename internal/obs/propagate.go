@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/hex"
+	"net/http"
+	"strings"
+)
+
+// W3C Trace Context header names (the spec lowercases them; net/http
+// canonicalizes either way).
+const (
+	TraceparentHeader = "traceparent"
+	TracestateHeader  = "tracestate"
+)
+
+// clientState is the tracestate entry a CLI client sends alongside its
+// traceparent to say "I cannot export spans — synthesize my submit span
+// server-side" (see Tracer.SynthesizeRoot).
+const clientState = "morc=client"
+
+// Traceparent renders the context as a version-00 traceparent value
+// with the sampled flag set.
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// ParseTraceparent parses a version-00-compatible traceparent value.
+// Per the spec: unknown versions are accepted as long as the 00 layout
+// prefix parses, version ff is invalid, and all-zero ids are invalid.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	if len(parts[0]) != 2 || parts[0] == "ff" || !isHex(parts[0]) {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if len(parts[1]) != 2*len(sc.TraceID) || len(parts[2]) != 2*len(sc.SpanID) || len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	// The spec mandates lowercase hex; hex.Decode alone would also
+	// accept uppercase.
+	if !isHex(parts[1]) || !isHex(parts[2]) {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(parts[1])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(parts[2])); err != nil {
+		return SpanContext{}, false
+	}
+	if !isHex(parts[3]) || !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject sets the traceparent header from sc (no-op for an invalid
+// context), linking the receiving hop's spans into sc's trace.
+func Inject(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, sc.Traceparent())
+}
+
+// InjectClient is Inject plus the tracestate marker asking the server
+// to synthesize the sender's root span (CLI submit paths).
+func InjectClient(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	Inject(h, sc)
+	h.Set(TracestateHeader, clientState)
+}
+
+// Extract parses the traceparent header, if any.
+func Extract(h http.Header) (SpanContext, bool) {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}
+
+// ClientMarked reports whether the tracestate carries the
+// synthesize-my-root marker set by InjectClient.
+func ClientMarked(h http.Header) bool {
+	for _, part := range strings.Split(h.Get(TracestateHeader), ",") {
+		if strings.TrimSpace(part) == clientState {
+			return true
+		}
+	}
+	return false
+}
+
+// Forward copies the trace-context headers from one request to another
+// (the cluster's byte-verbatim proxies use it so a client's trace
+// survives the coordinator hop).
+func Forward(dst, src http.Header) {
+	for _, k := range []string{TraceparentHeader, TracestateHeader} {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+}

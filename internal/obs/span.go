@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"time"
+)
+
+// Span is one recorded operation: the exported, JSON-stable form.
+// Start/End are Unix nanoseconds stamped by the service layer (never by
+// internal/sim); End is 0 while the span is still open, so exports of
+// in-flight traces are self-describing.
+type Span struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Service  string            `json:"service"`
+	Name     string            `json:"name"`
+	Start    int64             `json:"start_unix_ns"`
+	End      int64             `json:"end_unix_ns,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer mints spans for one service ("morcd", "coordinator") into a
+// shared Store. A nil Tracer is a valid no-op tracer: StartSpan returns
+// nil and every *ActiveSpan method tolerates a nil receiver, so
+// instrumented code paths need no tracing-enabled branches.
+type Tracer struct {
+	service string
+	store   *Store
+	// Now is the clock used to stamp spans; defaults to time.Now.
+	// Replaceable so tests can pin durations. Set before use, never
+	// concurrently with StartSpan.
+	Now func() time.Time
+}
+
+// NewTracer builds a tracer recording into store (which may be shared
+// by several tracers). A nil store yields a no-op tracer.
+func NewTracer(service string, store *Store) *Tracer {
+	if store == nil {
+		return nil
+	}
+	return &Tracer{service: service, store: store, Now: time.Now}
+}
+
+// StartSpan opens a span under parent (pass a zero SpanContext for a
+// root span) and commits its record to the store immediately, so a
+// trace exported mid-flight shows the open span. The caller must End it
+// on every path — enforced by morclint's spanbalance pass.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	sc := SpanContext{TraceID: parent.TraceID}
+	if sc.TraceID.IsZero() {
+		mustRand(sc.TraceID[:])
+	}
+	mustRand(sc.SpanID[:])
+	rec := &Span{
+		TraceID: sc.TraceID.String(),
+		SpanID:  sc.SpanID.String(),
+		Service: t.service,
+		Name:    name,
+		Start:   t.Now().UnixNano(),
+	}
+	if !parent.SpanID.IsZero() {
+		rec.ParentID = parent.SpanID.String()
+	}
+	t.store.add(sc.TraceID, rec)
+	return &ActiveSpan{tracer: t, sc: sc, start: rec.Start, rec: rec}
+}
+
+// SynthesizeRoot records a zero-duration placeholder span carrying the
+// exact ids of sc, attributed to a remote party that cannot export
+// spans itself (the CLI client marks its submit this way via
+// InjectClient). Children started under sc then link to a span that
+// actually exists in the export. Duplicate synthesis for the same span
+// id (a client retry re-sending the same traceparent) is a no-op.
+func (t *Tracer) SynthesizeRoot(sc SpanContext, service, name string) {
+	if t == nil || !sc.Valid() {
+		return
+	}
+	now := t.Now().UnixNano()
+	t.store.addOnce(sc.TraceID, &Span{
+		TraceID: sc.TraceID.String(),
+		SpanID:  sc.SpanID.String(),
+		Service: service,
+		Name:    name,
+		Start:   now,
+		End:     now,
+		Attrs:   map[string]string{"synthesized": "true"},
+	})
+}
+
+// ActiveSpan is an open span handle. All mutation goes through the
+// store's lock, so SetAttr/End may race with concurrent exports. The
+// zero of usefulness: every method is nil-receiver safe.
+type ActiveSpan struct {
+	tracer *Tracer
+	sc     SpanContext
+	start  int64
+	rec    *Span
+}
+
+// Context returns the propagation context for parenting children
+// (locally or across an HTTP hop).
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr records one attribute. Deterministic-shape paths must only
+// pass values that are identical across same-seed runs.
+func (s *ActiveSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.tracer.store.mutate(s.rec, func(sp *Span) {
+		if sp.Attrs == nil {
+			sp.Attrs = make(map[string]string)
+		}
+		sp.Attrs[k] = v
+	})
+}
+
+// StartSpan opens a child span of s on the same tracer.
+func (s *ActiveSpan) StartSpan(name string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.StartSpan(s.sc, name)
+}
+
+// End closes the span and returns its duration. Idempotent: a second
+// End keeps the first end time and returns 0.
+func (s *ActiveSpan) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	end := s.tracer.Now().UnixNano()
+	var d time.Duration
+	s.tracer.store.mutate(s.rec, func(sp *Span) {
+		if sp.End != 0 {
+			return
+		}
+		sp.End = end
+		d = time.Duration(end - sp.Start)
+	})
+	return d
+}

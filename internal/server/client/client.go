@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"time"
 
+	"morc/internal/obs"
 	"morc/internal/server"
 	"morc/internal/telemetry"
 )
@@ -63,7 +64,7 @@ func transient(err error) bool {
 
 // do performs one HTTP round-trip with the retry policy, decoding a JSON
 // response into out (if non-nil). body is re-marshalled per attempt.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, body, out any) error {
 	retries := c.Retries
 	backoff := c.Backoff
 	if backoff <= 0 {
@@ -71,7 +72,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = c.once(ctx, method, path, body, out)
+		err = c.once(ctx, method, path, hdr, body, out)
 		if err == nil || !transient(err) || attempt >= retries {
 			return err
 		}
@@ -84,7 +85,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
-func (c *Client) once(ctx context.Context, method, path string, body, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, hdr http.Header, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -99,6 +100,9 @@ func (c *Client) once(ctx context.Context, method, path string, body, out any) e
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	hc := c.HTTPClient
 	if hc == nil {
@@ -132,14 +136,55 @@ func (c *Client) once(ctx context.Context, method, path string, body, out any) e
 // Submit enqueues a job and returns its initial view (status "queued").
 func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (server.JobView, error) {
 	var v server.JobView
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &v)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, spec, &v)
 	return v, err
+}
+
+// SubmitTraced is Submit originating a new trace: it mints a root span
+// context, propagates it with the client tracestate marker (the server
+// synthesizes the submit span on our behalf — CLI processes have nowhere
+// durable to store spans), and returns the context so the caller can
+// correlate. The returned JobView's TraceID matches sc.TraceID.
+func (c *Client) SubmitTraced(ctx context.Context, spec server.JobSpec) (server.JobView, obs.SpanContext, error) {
+	sc := obs.NewRoot()
+	hdr := http.Header{}
+	obs.InjectClient(hdr, sc)
+	var v server.JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", hdr, spec, &v)
+	return v, sc, err
+}
+
+// SubmitWithTrace is Submit under an existing span context (no client
+// marker): the job span is parented to sc, whose owner records it
+// elsewhere. The cluster coordinator uses this to link peer jobs under
+// its dispatch spans.
+func (c *Client) SubmitWithTrace(ctx context.Context, spec server.JobSpec, sc obs.SpanContext) (server.JobView, error) {
+	hdr := http.Header{}
+	obs.Inject(hdr, sc)
+	var v server.JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", hdr, spec, &v)
+	return v, err
+}
+
+// Trace fetches a job's exported span tree (GET /v1/jobs/{id}/trace).
+func (c *Client) Trace(ctx context.Context, id string) (obs.TraceExport, error) {
+	var te obs.TraceExport
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, nil, &te)
+	return te, err
+}
+
+// Status fetches the server's queue/worker/counter snapshot
+// (GET /v1/status).
+func (c *Client) Status(ctx context.Context) (server.StatusView, error) {
+	var st server.StatusView
+	err := c.do(ctx, http.MethodGet, "/v1/status", nil, nil, &st)
+	return st, err
 }
 
 // Job fetches a job's current status/result.
 func (c *Client) Job(ctx context.Context, id string) (server.JobView, error) {
 	var v server.JobView
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil, &v)
 	return v, err
 }
 
@@ -148,14 +193,14 @@ func (c *Client) Jobs(ctx context.Context) ([]server.JobView, error) {
 	var out struct {
 		Jobs []server.JobView `json:"jobs"`
 	}
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, nil, &out)
 	return out.Jobs, err
 }
 
 // Cancel requests cancellation and returns the job's view.
 func (c *Client) Cancel(ctx context.Context, id string) (server.JobView, error) {
 	var v server.JobView
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &v)
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, &v)
 	return v, err
 }
 
@@ -188,7 +233,7 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (s
 // Telemetry config override); otherwise the server responds 404.
 func (c *Client) Timeseries(ctx context.Context, id string) (*telemetry.Series, error) {
 	var ts telemetry.Series
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/timeseries", nil, &ts)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/timeseries", nil, nil, &ts)
 	if err != nil {
 		return nil, err
 	}
@@ -199,14 +244,14 @@ func (c *Client) Timeseries(ctx context.Context, id string) (*telemetry.Series, 
 // one round-trip regardless of the retry policy — health checkers own
 // their own failure accounting and must see every miss.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.once(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.once(ctx, http.MethodGet, "/healthz", nil, nil, nil)
 }
 
 // Join announces selfURL to a coordinator's peer registry
 // (POST /v1/cluster/join). Idempotent: re-announcing an already-known
 // peer is a no-op, so peers heartbeat it freely.
 func (c *Client) Join(ctx context.Context, selfURL string) error {
-	return c.do(ctx, http.MethodPost, "/v1/cluster/join", struct {
+	return c.do(ctx, http.MethodPost, "/v1/cluster/join", nil, struct {
 		URL string `json:"url"`
 	}{selfURL}, nil)
 }
@@ -246,13 +291,13 @@ func (c *Client) Schemes(ctx context.Context) ([]string, error) {
 	var out struct {
 		Schemes []string `json:"schemes"`
 	}
-	err := c.do(ctx, http.MethodGet, "/v1/schemes", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/schemes", nil, nil, &out)
 	return out.Schemes, err
 }
 
 // Catalog lists the workloads, mixes, and experiments the server can run.
 func (c *Client) Catalog(ctx context.Context) (server.Catalog, error) {
 	var out server.Catalog
-	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, nil, &out)
 	return out, err
 }

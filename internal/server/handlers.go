@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"morc/internal/exp"
+	"morc/internal/obs"
 	"morc/internal/sim"
 	"morc/internal/trace"
 )
@@ -20,8 +22,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeseries", s.handleTimeseries)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/schemes", HandleSchemes)
 	mux.HandleFunc("GET /v1/workloads", HandleWorkloads)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	registerDebug(mux)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -56,7 +60,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Submit(spec)
+	// A traceparent header links the job into the caller's trace: the
+	// coordinator propagates its dispatch span, CLI clients additionally
+	// mark tracestate so their submit span is synthesized server-side.
+	parent, _ := obs.Extract(r.Header)
+	job, err := s.SubmitTraced(spec, parent, obs.ClientMarked(r.Header))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -89,7 +97,74 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
 		return
 	}
+	// Result payloads can be large (full telemetry series, experiment
+	// tables); encode time is part of the user-visible latency and gets
+	// its own histogram phase.
+	t0 := time.Now()
 	writeJSON(w, http.StatusOK, j.View())
+	s.metrics.spanObserved("encode", time.Since(t0))
+}
+
+// handleTrace serves GET /v1/jobs/{id}/trace: the job's span tree as
+// indented JSON, or NDJSON (one span per line) with ?format=ndjson.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	te, ok := s.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no trace for job (evicted from the bounded store)"))
+		return
+	}
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		te.WriteNDJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	te.WriteJSON(w)
+}
+
+// StatusView is the GET /v1/status snapshot: one scrape-friendly JSON
+// object with queue/worker occupancy and lifetime job counters. The
+// cluster coordinator's /v1/cluster/overview aggregates these across
+// peers.
+type StatusView struct {
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Workers       int     `json:"workers"`
+	WorkersBusy   int     `json:"workers_busy"`
+	Submitted     uint64  `json:"jobs_submitted"`
+	Rejected      uint64  `json:"jobs_rejected"`
+	Done          uint64  `json:"jobs_done"`
+	Failed        uint64  `json:"jobs_failed"`
+	Cancelled     uint64  `json:"jobs_cancelled"`
+	SSEDropped    uint64  `json:"sse_dropped_frames"`
+	UptimeSec     float64 `json:"uptime_sec"`
+}
+
+// Status snapshots the server for GET /v1/status.
+func (s *Server) Status() StatusView {
+	c := s.metrics.snapshot()
+	return StatusView{
+		QueueDepth:    s.QueueDepth(),
+		QueueCapacity: cap(s.queue),
+		Workers:       s.workers,
+		WorkersBusy:   s.metrics.busy(),
+		Submitted:     c.Submitted,
+		Rejected:      c.Rejected,
+		Done:          c.Done,
+		Failed:        c.Failed,
+		Cancelled:     c.Cancelled,
+		SSEDropped:    c.SSEDropped,
+		UptimeSec:     s.metrics.uptime().Seconds(),
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

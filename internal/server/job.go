@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"morc/internal/exp"
+	"morc/internal/obs"
 	"morc/internal/sim"
 	"morc/internal/telemetry"
 	"morc/internal/trace"
@@ -221,18 +223,38 @@ type Job struct {
 	subs    map[int]chan telemetry.Epoch
 	nextSub int
 
+	// Tracing: the job's span tree, rooted at span. queueSp covers the
+	// time on the queue, runSp the simulation itself, phaseSp the
+	// currently open sim phase under runSp. All nil when tracing is off —
+	// every obs method is nil-safe, so no call site branches on it.
+	// onDrop reports SSE fan-out drops; it is invoked outside mu.
+	traceID obs.TraceID
+	span    *obs.ActiveSpan
+	queueSp *obs.ActiveSpan
+	runSp   *obs.ActiveSpan
+	phaseSp *obs.ActiveSpan
+	onDrop  func(n int)
+
 	done chan struct{}
 }
 
-func newJob(id string, spec JobSpec) *Job {
+func newJob(id string, spec JobSpec, span, queueSp *obs.ActiveSpan, onDrop func(int)) *Job {
 	return &Job{
 		ID:      id,
 		Spec:    spec,
 		status:  StatusQueued,
 		created: time.Now(),
+		traceID: span.Context().TraceID,
+		span:    span,
+		queueSp: queueSp,
+		onDrop:  onDrop,
 		done:    make(chan struct{}),
 	}
 }
+
+// TraceID is the job's trace identifier (zero when tracing is off). It
+// is set at construction and never changes, so no lock is needed.
+func (j *Job) TraceID() obs.TraceID { return j.traceID }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -260,8 +282,8 @@ func (j *Job) setProgress(done, total uint64) {
 // non-blocking: the replay buffer and every subscriber channel drop
 // their oldest entry instead of growing or stalling.
 func (j *Job) publishEpoch(e telemetry.Epoch) {
+	dropped := 0
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if len(j.epochs) >= maxBufferedEpochs {
 		j.epochs = j.epochs[1:]
 	}
@@ -274,13 +296,22 @@ func (j *Job) publishEpoch(e telemetry.Epoch) {
 			// publishEpoch is the only sender, so the retry cannot race.
 			select {
 			case <-ch:
+				dropped++
 			default:
 			}
 			select {
 			case ch <- e:
 			default:
+				dropped++
 			}
 		}
+	}
+	onDrop := j.onDrop
+	j.mu.Unlock()
+	// Report evictions outside mu: the callback takes the metrics lock
+	// and may log.
+	if dropped > 0 && onDrop != nil {
+		onDrop(dropped)
 	}
 }
 
@@ -327,26 +358,66 @@ func (j *Job) timeseries() (ts *telemetry.Series, ok bool) {
 	}, true
 }
 
-// start transitions queued → running, attaching the cancel func. Returns
-// false if the job was cancelled while queued.
-func (j *Job) start(cancel context.CancelFunc) bool {
+// start transitions queued → running, attaching the cancel func. It
+// closes the queue span and opens the run span; queueWait is the time
+// spent on the queue. ok is false if the job was cancelled while queued.
+func (j *Job) start(cancel context.CancelFunc) (queueWait time.Duration, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status != StatusQueued {
-		return false
+		return 0, false
 	}
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.cancel = cancel
-	return true
+	queueWait = j.queueSp.End()
+	j.queueSp = nil
+	j.runSp = j.span.StartSpan("run")
+	return queueWait, true
+}
+
+// notePhase is the sim.System.OnPhase hook: each event begins a new
+// phase span under the run span, implicitly ending the previous one.
+// The simulator reports instruction counts only; wall-clock stamps are
+// applied here, at the service layer, so the sim stays clock-free.
+func (j *Job) notePhase(ev sim.PhaseEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.phaseSp.End()
+	sp := j.runSp.StartSpan("sim." + ev.Phase)
+	sp.SetAttr("instr", strconv.FormatUint(ev.Instr, 10))
+	if ev.Window >= 0 {
+		sp.SetAttr("window", strconv.Itoa(ev.Window))
+		sp.SetAttr("interval", strconv.Itoa(ev.Interval))
+	}
+	j.phaseSp = sp
+}
+
+// endSpansLocked closes every open span for a job reaching the terminal
+// state st. Caller holds j.mu. Returns the run span's duration (0 for
+// jobs that never started).
+func (j *Job) endSpansLocked(st Status, res *sim.Result) time.Duration {
+	j.phaseSp.End()
+	j.phaseSp = nil
+	if res != nil && res.Sampling != nil {
+		j.runSp.SetAttr("windows", strconv.Itoa(len(res.Sampling.Windows)))
+	}
+	runDur := j.runSp.End()
+	j.runSp = nil
+	j.queueSp.End() // non-nil only when cancelled while queued
+	j.queueSp = nil
+	j.span.SetAttr("status", string(st))
+	j.span.End()
+	return runDur
 }
 
 // finish transitions running → terminal. No-op if already terminal.
-func (j *Job) finish(st Status, res *sim.Result, tables []*exp.Table, errMsg string) {
+// Returns the run span's duration.
+func (j *Job) finish(st Status, res *sim.Result, tables []*exp.Table, errMsg string) time.Duration {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status.Terminal() {
-		return
+		return 0
 	}
 	j.status = st
 	j.result = res
@@ -356,7 +427,9 @@ func (j *Job) finish(st Status, res *sim.Result, tables []*exp.Table, errMsg str
 	if st == StatusDone {
 		j.progress = 1
 	}
+	runDur := j.endSpansLocked(st, res)
 	close(j.done)
+	return runDur
 }
 
 // requestCancel asks the job to stop. A queued job is cancelled
@@ -374,6 +447,7 @@ func (j *Job) requestCancel() (fromQueue, ok bool) {
 	if j.status == StatusQueued {
 		j.status = StatusCancelled
 		j.finished = time.Now()
+		j.endSpansLocked(StatusCancelled, nil)
 		close(j.done)
 		j.mu.Unlock()
 		return true, true
@@ -405,6 +479,10 @@ type JobView struct {
 	// DurationSec is wall time from start to finish (or to now while
 	// running).
 	DurationSec float64 `json:"duration_sec,omitempty"`
+
+	// TraceID identifies the job's trace, exportable via
+	// GET /v1/jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // View snapshots the job for serialization.
@@ -420,6 +498,9 @@ func (j *Job) View() JobView {
 		Result:    j.result,
 		Tables:    j.tables,
 		CreatedAt: j.created,
+	}
+	if !j.traceID.IsZero() {
+		v.TraceID = j.traceID.String()
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -10,23 +10,37 @@ import (
 	"time"
 )
 
-// durationBuckets are the wall-time histogram bounds in seconds. Quick
-// single-program runs land around 0.1-1s; full mixes and whole-figure
-// experiments run minutes.
+// durationBuckets are the job wall-time histogram bounds in seconds.
+// Quick single-program runs land around 0.1-1s; full mixes and
+// whole-figure experiments run minutes.
 var durationBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+// spanBuckets are the span-duration histogram bounds in seconds: queue
+// waits and response encodes live in the sub-millisecond range, runs up
+// in durationBuckets territory.
+var spanBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// windowBuckets bound the windows-chosen histogram (sampling schedules
+// rarely exceed a few dozen representatives).
+var windowBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// speedupBuckets bound the instruction-reduction-factor histogram.
+var speedupBuckets = []float64{1, 1.5, 2, 3, 5, 8, 12, 20, 50, 100}
 
 // histogram is a fixed-bucket Prometheus-style histogram.
 type histogram struct {
+	bounds []float64
 	counts []uint64 // one per bucket bound; +Inf is implicit via count
 	sum    float64
 	count  uint64
 }
 
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
 func (h *histogram) observe(v float64) {
-	if h.counts == nil {
-		h.counts = make([]uint64, len(durationBuckets))
-	}
-	for i, bound := range durationBuckets {
+	for i, bound := range h.bounds {
 		if v <= bound {
 			h.counts[i]++
 		}
@@ -42,6 +56,10 @@ func (h *histogram) observe(v float64) {
 // without bound.
 const maxSchemeLabels = 32
 
+// spanPhases are the fixed span-duration histogram labels. The set is
+// closed (unlike scheme labels) so no cardinality cap is needed.
+var spanPhases = []string{"queue", "run", "encode"}
+
 // metrics aggregates server counters for the /metrics endpoint.
 type metrics struct {
 	mu          sync.Mutex
@@ -53,10 +71,25 @@ type metrics struct {
 	cancelled   uint64
 	workersBusy int
 	byScheme    map[string]*histogram // job wall time by scheme label
+	bySpan      map[string]*histogram // span duration by phase label
+	sseDropped  uint64                // SSE fan-out frames dropped on slow subscribers
+	sampledJobs uint64                // jobs that ran with interval sampling
+	windows     *histogram            // sampling windows replayed per sampled job
+	speedup     *histogram            // instruction-reduction factor per sampled job
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), byScheme: map[string]*histogram{}}
+	bySpan := make(map[string]*histogram, len(spanPhases))
+	for _, p := range spanPhases {
+		bySpan[p] = newHistogram(spanBuckets)
+	}
+	return &metrics{
+		start:    time.Now(),
+		byScheme: map[string]*histogram{},
+		bySpan:   bySpan,
+		windows:  newHistogram(windowBuckets),
+		speedup:  newHistogram(speedupBuckets),
+	}
 }
 
 func (m *metrics) jobSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
@@ -88,7 +121,7 @@ func (m *metrics) jobFinished(st Status, scheme string, seconds float64) {
 				scheme = "other"
 			}
 			if h = m.byScheme[scheme]; h == nil {
-				h = &histogram{}
+				h = newHistogram(durationBuckets)
 				m.byScheme[scheme] = h
 			}
 		}
@@ -96,15 +129,75 @@ func (m *metrics) jobFinished(st Status, scheme string, seconds float64) {
 	}
 }
 
-// snapshot of counters for tests.
+// spanObserved records the duration of one job life-cycle phase under a
+// fixed label from spanPhases. Unknown labels are dropped rather than
+// growing the map.
+func (m *metrics) spanObserved(phase string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.bySpan[phase]; h != nil {
+		h.observe(d.Seconds())
+	}
+}
+
+// sseDroppedFrames counts telemetry frames evicted from slow SSE
+// subscriber buffers.
+func (m *metrics) sseDroppedFrames(n int) {
+	m.mu.Lock()
+	m.sseDropped += uint64(n)
+	m.mu.Unlock()
+}
+
+// sampledJob records the sampling schedule a finished job actually ran:
+// how many representative windows were replayed and the instruction
+// reduction factor versus a full-fidelity run.
+func (m *metrics) sampledJob(windows int, speedup float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sampledJobs++
+	m.windows.observe(float64(windows))
+	if speedup > 0 {
+		m.speedup.observe(speedup)
+	}
+}
+
+// snapshot of counters for tests and /v1/status.
 type counters struct {
-	Submitted, Rejected, Done, Failed, Cancelled uint64
+	Submitted, Rejected, Done, Failed, Cancelled, SSEDropped uint64
 }
 
 func (m *metrics) snapshot() counters {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return counters{m.submitted, m.rejected, m.done, m.failed, m.cancelled}
+	return counters{m.submitted, m.rejected, m.done, m.failed, m.cancelled, m.sseDropped}
+}
+
+func (m *metrics) busy() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workersBusy
+}
+
+func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
+
+// writeHistogram emits one labelled histogram series in exposition order.
+func writeHistogram(w io.Writer, name, label, value string, h *histogram) {
+	for i, bound := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, label, value, bound, h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, h.count)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, h.sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.count)
+}
+
+// writeBareHistogram emits an unlabelled histogram series.
+func writeBareHistogram(w io.Writer, name string, h *histogram) {
+	for i, bound := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bound, h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
 }
 
 // write emits the Prometheus text exposition format (version 0.0.4).
@@ -173,16 +266,32 @@ func (m *metrics) write(dst io.Writer, queueDepth, queueCap, workers int) {
 	}
 	sort.Strings(schemes)
 	for _, s := range schemes {
-		h := m.byScheme[s]
 		// observe() increments every bucket whose bound covers the value,
 		// so counts are already cumulative as the format requires.
-		for i, bound := range durationBuckets {
-			fmt.Fprintf(w, "morcd_job_duration_seconds_bucket{scheme=%q,le=\"%g\"} %d\n", s, bound, h.counts[i])
-		}
-		fmt.Fprintf(w, "morcd_job_duration_seconds_bucket{scheme=%q,le=\"+Inf\"} %d\n", s, h.count)
-		fmt.Fprintf(w, "morcd_job_duration_seconds_sum{scheme=%q} %g\n", s, h.sum)
-		fmt.Fprintf(w, "morcd_job_duration_seconds_count{scheme=%q} %d\n", s, h.count)
+		writeHistogram(w, "morcd_job_duration_seconds", "scheme", s, m.byScheme[s])
 	}
+
+	fmt.Fprintln(w, "# HELP morcd_span_duration_seconds Job life-cycle span duration by phase (queue wait, sim run, response encode).")
+	fmt.Fprintln(w, "# TYPE morcd_span_duration_seconds histogram")
+	for _, p := range spanPhases {
+		writeHistogram(w, "morcd_span_duration_seconds", "phase", p, m.bySpan[p])
+	}
+
+	fmt.Fprintln(w, "# HELP morcd_sse_dropped_frames_total Telemetry frames dropped from slow SSE subscriber buffers.")
+	fmt.Fprintln(w, "# TYPE morcd_sse_dropped_frames_total counter")
+	fmt.Fprintf(w, "morcd_sse_dropped_frames_total %d\n", m.sseDropped)
+
+	fmt.Fprintln(w, "# HELP morcd_sampled_jobs_total Jobs that ran with representative-interval sampling.")
+	fmt.Fprintln(w, "# TYPE morcd_sampled_jobs_total counter")
+	fmt.Fprintf(w, "morcd_sampled_jobs_total %d\n", m.sampledJobs)
+
+	fmt.Fprintln(w, "# HELP morcd_sampling_windows Representative windows replayed per sampled job.")
+	fmt.Fprintln(w, "# TYPE morcd_sampling_windows histogram")
+	writeBareHistogram(w, "morcd_sampling_windows", m.windows)
+
+	fmt.Fprintln(w, "# HELP morcd_sampling_speedup Instruction-reduction factor per sampled job.")
+	fmt.Fprintln(w, "# TYPE morcd_sampling_speedup histogram")
+	writeBareHistogram(w, "morcd_sampling_speedup", m.speedup)
 	m.mu.Unlock()
 
 	dst.Write(buf.Bytes())

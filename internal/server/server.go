@@ -12,8 +12,10 @@
 //	DELETE /v1/jobs/{id}             cancel            → JobView
 //	GET    /v1/jobs/{id}/events      SSE stream: epoch/progress/done events
 //	GET    /v1/jobs/{id}/timeseries  telemetry series (JSON, ?format=ndjson)
+//	GET    /v1/jobs/{id}/trace       span trace export (JSON, ?format=ndjson)
 //	GET    /v1/schemes               LLC organizations the simulator implements
 //	GET    /v1/workloads             workloads, mixes, and experiments that can run
+//	GET    /v1/status                queue/worker/counter snapshot (cluster overview scrapes this)
 //	GET    /metrics                  Prometheus text exposition
 //	GET    /debug/pprof/             CPU/heap/goroutine profiles, execution traces
 //	GET    /debug/vars               expvar (build info, uptime, memstats)
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"morc/internal/exp"
+	"morc/internal/obs"
 	"morc/internal/sim"
 )
 
@@ -68,12 +71,25 @@ type Server struct {
 	stopAll       context.CancelFunc
 	wg            sync.WaitGroup
 
+	// Tracing: every job gets a span tree in spans, exportable via
+	// GET /v1/jobs/{id}/trace.
+	spans  *obs.Store
+	tracer *obs.Tracer
+
+	// Rate limit for the SSE-drop warning log (counters still see every
+	// drop; only the log line is limited).
+	dropMu   sync.Mutex
+	lastDrop time.Time
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string // insertion order for listing
 	nextID uint64
 	closed bool
 }
+
+// sseDropWarnEvery is the minimum gap between SSE-drop warning logs.
+const sseDropWarnEvery = 5 * time.Second
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
@@ -87,6 +103,7 @@ func New(cfg Config) *Server {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	spans := obs.NewStore(0, 0)
 	s := &Server{
 		workers:       cfg.Workers,
 		queue:         make(chan *Job, cfg.QueueDepth),
@@ -95,6 +112,8 @@ func New(cfg Config) *Server {
 		progressEvery: cfg.ProgressInterval,
 		baseCtx:       ctx,
 		stopAll:       cancel,
+		spans:         spans,
+		tracer:        obs.NewTracer("morcd", spans),
 		jobs:          map[string]*Job{},
 	}
 	s.wg.Add(cfg.Workers)
@@ -105,22 +124,47 @@ func New(cfg Config) *Server {
 }
 
 // Submit validates the spec and enqueues a job, returning it immediately.
+// The job gets a fresh trace rooted at its own span.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitTraced(spec, obs.SpanContext{}, false)
+}
+
+// SubmitTraced is Submit with trace propagation: parent (extracted from
+// a traceparent header, or zero) becomes the job span's parent, and when
+// synthesizeClient is set a zero-duration "client.submit" root span is
+// recorded for it — CLI clients originate a trace but have nowhere to
+// store their own spans, so the server keeps it on their behalf.
+func (s *Server) SubmitTraced(spec JobSpec, parent obs.SpanContext, synthesizeClient bool) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// Spans are created before taking s.mu: the tracer has its own lock
+	// and must never nest inside the server's.
+	if synthesizeClient && parent.Valid() {
+		s.tracer.SynthesizeRoot(parent, "client", "client.submit")
+	}
+	span := s.tracer.StartSpan(parent, "job")
+	span.SetAttr("kind", schemeLabel(spec))
+	queueSp := span.StartSpan("queue")
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		queueSp.End()
+		span.SetAttr("status", "rejected")
+		span.End()
 		return nil, ErrShuttingDown
 	}
 	s.nextID++
-	job := newJob(fmt.Sprintf("j%06d", s.nextID), spec)
+	job := newJob(fmt.Sprintf("j%06d", s.nextID), spec, span, queueSp, s.noteSSEDrops)
 	select {
 	case s.queue <- job:
 	default:
 		s.mu.Unlock()
 		s.metrics.jobRejected()
+		queueSp.End()
+		span.SetAttr("status", "rejected")
+		span.End()
 		return nil, ErrQueueFull
 	}
 	s.jobs[job.ID] = job
@@ -128,8 +172,36 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.mu.Unlock()
 	s.metrics.jobSubmitted()
 	s.log.Info("job queued", "job", job.ID, "kind", schemeLabel(spec),
-		"workload", spec.Workload, "mix", spec.Mix, "telemetry", spec.Telemetry)
+		"workload", spec.Workload, "mix", spec.Mix, "telemetry", spec.Telemetry,
+		"trace", job.TraceID().String())
 	return job, nil
+}
+
+// Trace exports the job's span tree. ok is false for unknown jobs and
+// for traces already evicted from the bounded store.
+func (s *Server) Trace(id string) (obs.TraceExport, bool) {
+	j, ok := s.Job(id)
+	if !ok || j.TraceID().IsZero() {
+		return obs.TraceExport{}, false
+	}
+	return s.spans.Export(j.TraceID())
+}
+
+// noteSSEDrops is each job's onDrop callback: it counts evicted SSE
+// frames and emits a rate-limited warning log.
+func (s *Server) noteSSEDrops(n int) {
+	s.metrics.sseDroppedFrames(n)
+	s.dropMu.Lock()
+	now := time.Now()
+	warn := now.Sub(s.lastDrop) >= sseDropWarnEvery
+	if warn {
+		s.lastDrop = now
+	}
+	s.dropMu.Unlock()
+	if warn {
+		s.log.Warn("SSE subscribers falling behind; dropping telemetry frames",
+			"dropped", n, "warn_every", sseDropWarnEvery)
+	}
 }
 
 // Job looks up a job by ID.
@@ -183,15 +255,21 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
-	if !j.start(cancel) {
+	queueWait, ok := j.start(cancel)
+	if !ok {
 		return // cancelled while queued; Cancel already counted it
 	}
+	s.metrics.spanObserved("queue", queueWait)
 	s.metrics.workerBusy(1)
 	defer s.metrics.workerBusy(-1)
 	s.log.Info("job started", "job", j.ID, "kind", schemeLabel(j.Spec))
 
 	st, res, tables, errMsg := s.execute(ctx, j)
-	j.finish(st, res, tables, errMsg)
+	runDur := j.finish(st, res, tables, errMsg)
+	s.metrics.spanObserved("run", runDur)
+	if res != nil && res.Sampling != nil {
+		s.metrics.sampledJob(len(res.Sampling.Windows), res.Sampling.SpeedupX)
+	}
 	v := j.View()
 	s.metrics.jobFinished(st, schemeLabel(j.Spec), v.DurationSec)
 	s.log.Info("job finished", "job", j.ID, "status", string(st),
@@ -241,6 +319,7 @@ func (s *Server) execute(ctx context.Context, j *Job) (st Status, res *sim.Resul
 		return StatusFailed, nil, nil, err.Error()
 	}
 	sys.OnProgress = j.setProgress
+	sys.OnPhase = j.notePhase
 	if cfg.Telemetry.Enabled() {
 		sys.OnEpoch = j.publishEpoch
 	}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// collectPhases runs a system with an OnPhase hook and returns the
+// event sequence.
+func collectPhases(t *testing.T, workload string, cfg Config) ([]PhaseEvent, Result) {
+	t.Helper()
+	s, err := NewSingle(workload, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []PhaseEvent
+	s.OnPhase = func(ev PhaseEvent) { evs = append(evs, ev) }
+	res, err := s.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs, res
+}
+
+func TestFullRunPhases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = MORC
+	cfg.WarmupInstr = 30_000
+	cfg.MeasureInstr = 60_000
+	evs, res := collectPhases(t, "gcc", cfg)
+	if res.Sampling != nil {
+		t.Fatal("full run reported sampling")
+	}
+	if len(evs) != 2 || evs[0].Phase != "warmup" || evs[1].Phase != "measure" {
+		t.Fatalf("full-run phases = %+v, want warmup then measure", evs)
+	}
+	if evs[0].Window != -1 || evs[0].Interval != -1 {
+		t.Fatalf("non-window event carries window fields: %+v", evs[0])
+	}
+	if evs[1].Instr < evs[0].Instr {
+		t.Fatalf("phase instruction clock ran backwards: %+v", evs)
+	}
+}
+
+func TestSampledRunPhases(t *testing.T) {
+	cfg := samplingTestConfig()
+	cfg.Sampling.ReplayInstr = 7_500
+	evs, res := collectPhases(t, "gcc", cfg)
+	if res.Sampling == nil {
+		t.Fatal("run did not sample")
+	}
+
+	// Every window in the schedule is announced exactly once, in order,
+	// with its interval index; instruction positions never run backwards.
+	var wins []PhaseEvent
+	var last uint64
+	for _, ev := range evs {
+		if ev.Instr < last {
+			t.Fatalf("phase instruction clock ran backwards: %+v", evs)
+		}
+		last = ev.Instr
+		switch ev.Phase {
+		case "window":
+			wins = append(wins, ev)
+		case "warmup", "replay", "fastforward":
+			if ev.Window != -1 || ev.Interval != -1 {
+				t.Fatalf("non-window event carries window fields: %+v", ev)
+			}
+		default:
+			t.Fatalf("unknown phase %q", ev.Phase)
+		}
+	}
+	if len(wins) != len(res.Sampling.Windows) {
+		t.Fatalf("%d window events for %d scheduled windows", len(wins), len(res.Sampling.Windows))
+	}
+	for i, ev := range wins {
+		if ev.Window != i {
+			t.Fatalf("window events out of sequence: %+v", wins)
+		}
+		if ev.Interval != res.Sampling.Windows[i].Interval {
+			t.Fatalf("window %d announced interval %d, schedule says %d", i, ev.Interval, res.Sampling.Windows[i].Interval)
+		}
+	}
+	// The run begins with the segment that covers warmup.
+	if evs[0].Phase != "warmup" {
+		t.Fatalf("sampled run did not start with warmup: %+v", evs)
+	}
+
+	// Same seed, same event sequence — the hook is as deterministic as
+	// the results it narrates.
+	evs2, _ := collectPhases(t, "gcc", cfg)
+	if !reflect.DeepEqual(evs, evs2) {
+		t.Fatalf("same-seed phase sequences differ:\n%+v\n%+v", evs, evs2)
+	}
+}

@@ -218,7 +218,14 @@ func (s *System) runSampled(ctx context.Context) (Result, error) {
 	var epochs []telemetry.Epoch
 	wins := make([]winDelta, 0, plan.K)
 	anchors := make([]ratioAnchor, 0, plan.K)
+	winSeq := 0
 	for _, seg := range segs {
+		for _, c := range s.cores {
+			if c.instr < seg.lo {
+				s.emitPhase("fastforward", -1, -1)
+				break
+			}
+		}
 		if err := s.fastForward(ctx, seg.lo); err != nil {
 			return Result{}, err
 		}
@@ -229,6 +236,7 @@ func (s *System) runSampled(ctx context.Context) (Result, error) {
 		// it runs on the configured engine, parallel included.
 		baseline := seg.lo
 		if seg.lo < cfg.WarmupInstr && cfg.WarmupInstr < seg.hi {
+			s.emitPhase("warmup", -1, -1)
 			s.setTargets(cfg.WarmupInstr)
 			if err := s.runPhase(ctx); err != nil {
 				return Result{}, err
@@ -258,14 +266,46 @@ func (s *System) runSampled(ctx context.Context) (Result, error) {
 		for j, b := range bounds {
 			boundIdx[b] = j
 		}
+		// Window sequence numbers are global across the run in schedule
+		// order, matching SamplingInfo.Windows indexing.
+		segSeqs := make([]int, len(seg.windows))
+		for i := range segSeqs {
+			segSeqs[i] = winSeq
+			winSeq++
+		}
+		// Precompute the OnPhase event each boundary crossing announces:
+		// a window start begins a "window" phase, a window end with more
+		// of the segment left begins a "replay" gap, and the segment's
+		// last boundary begins nothing (the next segment announces its
+		// own phases). Window starts win over a coinciding window end.
+		phases := make([]PhaseEvent, len(bounds))
+		for i, w := range seg.windows {
+			if w.startB > baseline {
+				phases[boundIdx[w.startB]] = PhaseEvent{Phase: "window", Window: segSeqs[i], Interval: w.rep}
+			}
+		}
+		for _, w := range seg.windows {
+			if j := boundIdx[w.endB]; j+1 < len(bounds) && phases[j].Phase == "" {
+				phases[j] = PhaseEvent{Phase: "replay", Window: -1, Interval: -1}
+			}
+		}
 		s.snapBounds = bounds
 		s.snapCrossed = make([]int, len(bounds))
 		s.cuts = make([]segCut, len(bounds))
 		s.snapTel = st != nil
+		s.boundPhases = phases
 		for _, c := range s.cores {
 			c.snapAt = bounds[0]
 			c.snapIdx = 0
 			c.snaps = make([]winSnap, len(bounds))
+		}
+		// Announce the region the detailed phase starts in: the first
+		// window when it begins at the baseline, otherwise the replay
+		// leading up to it.
+		if first := seg.windows[0]; first.startB > baseline {
+			s.emitPhase("replay", -1, -1)
+		} else {
+			s.emitPhase("window", segSeqs[0], first.rep)
 		}
 		s.setTargets(seg.hi)
 		err := s.run(ctx)
@@ -273,6 +313,7 @@ func (s *System) runSampled(ctx context.Context) (Result, error) {
 			c.snapAt = ^uint64(0)
 		}
 		s.measuring = false
+		s.boundPhases = nil
 		if err != nil {
 			return Result{}, err
 		}
@@ -489,6 +530,14 @@ func (s *System) windowSnap(c *coreState) {
 			}
 			if s.snapTel {
 				s.cuts[j].tel = s.telemetrySample(0)
+			}
+			// The boundary is globally crossed: announce the region that
+			// begins here (a window start or a replay gap), positioned at
+			// the cut's consistent instruction count.
+			if s.OnPhase != nil && j < len(s.boundPhases) && s.boundPhases[j].Phase != "" {
+				ev := s.boundPhases[j]
+				ev.Instr = s.cuts[j].total
+				s.OnPhase(ev)
 			}
 		}
 	}

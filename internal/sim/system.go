@@ -75,11 +75,14 @@ type System struct {
 	// ascending per-core instruction boundaries of the current segment
 	// phase, snapCrossed[j] counts cores that have crossed boundary j,
 	// and cuts[j] is the consistent global snapshot taken the moment the
-	// last core crosses boundary j.
+	// last core crosses boundary j. boundPhases[j], when its Phase is
+	// non-empty, is the OnPhase event announcing the region that begins
+	// at boundary j; windowSnap emits it at the last-core crossing.
 	snapBounds  []uint64
 	snapCrossed []int
 	cuts        []segCut
 	snapTel     bool
+	boundPhases []PhaseEvent
 
 	// OnProgress, when set, is called at most every checkEvery accesses
 	// with the instructions retired so far (clamped to the total) and the
@@ -94,6 +97,41 @@ type System struct {
 	// be enabled). morcd uses it to stream epochs to SSE subscribers; it
 	// must be cheap and must not call back into the System.
 	OnEpoch func(telemetry.Epoch)
+
+	// OnPhase, when set before RunCtx, receives each simulation phase
+	// transition synchronously: every event marks the BEGINNING of a
+	// phase on the instruction clock and implicitly ends the previous
+	// one (the run's end ends the last). Full runs announce "warmup"
+	// then "measure"; sampled runs announce "fastforward", "warmup",
+	// "replay", and one "window" per replayed representative window.
+	// Events carry instruction counts only — no wall-clock enters the
+	// deterministic core; morcd stamps times at the service layer to
+	// build sim-phase trace spans. Same contract as the other hooks:
+	// cheap, and no calling back into the System.
+	OnPhase func(PhaseEvent)
+}
+
+// PhaseEvent is one OnPhase notification. For "window" phases Window is
+// the window's 0-based sequence number across the whole run (schedule
+// order) and Interval its representative interval index; both are -1
+// otherwise. Instr is total instructions retired across cores when the
+// phase begins. Identical same-seed runs produce identical event
+// sequences.
+type PhaseEvent struct {
+	Phase    string
+	Window   int
+	Interval int
+	Instr    uint64
+}
+
+// emitPhase announces a phase beginning at the current instruction
+// position. Only called at phase boundaries, never on the per-access
+// path.
+func (s *System) emitPhase(phase string, window, interval int) {
+	if s.OnPhase == nil {
+		return
+	}
+	s.OnPhase(PhaseEvent{Phase: phase, Window: window, Interval: interval, Instr: s.totalInstr()})
 }
 
 // checkEvery is how many accesses pass between context-cancellation and
@@ -384,6 +422,7 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 			}
 		}
 	}
+	s.emitPhase("warmup", -1, -1)
 	for _, c := range s.cores {
 		c.target = s.cfg.WarmupInstr
 	}
@@ -391,6 +430,7 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 		return Result{}, err
 	}
 	s.beginMeasurement()
+	s.emitPhase("measure", -1, -1)
 	for _, c := range s.cores {
 		c.target = c.instr + s.cfg.MeasureInstr
 	}
