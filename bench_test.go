@@ -401,6 +401,137 @@ func BenchmarkSamplingSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathAllocs measures allocations on the paths the morclint
+// hotalloc pass guards: the cache line-clone funnel, the MORC fill and
+// read-hit operations stepAccess drives, the whole per-access simulation
+// step, and the timeseries NDJSON encoding morcd streams. Each leg's
+// allocation count comes from testing.AllocsPerRun (exact, not sampled);
+// the b.N loop supplies ns/op. When every leg runs (no -bench filter
+// splitting them) the benchmark rewrites BENCH_alloc.json, the committed
+// baseline a future allocation regression has to justify against:
+//
+//	go test -bench BenchmarkHotPathAllocs -benchtime 100x .
+func BenchmarkHotPathAllocs(b *testing.B) {
+	type leg struct {
+		name    string
+		note    string
+		perWhat string  // unit of the normalized metric, e.g. "epoch"
+		div     float64 // ops per call of fn, for normalization
+		fn      func()
+		allocs  float64
+		nsPerOp float64
+		ran     bool
+	}
+
+	line := benchLines(1)[0]
+	var cloned []byte
+	fillCache := core.New(core.DefaultConfig(128 * 1024))
+	readCache := core.New(core.DefaultConfig(128 * 1024))
+	warm := benchLines(256)
+	for i := 0; i < 1024; i++ {
+		readCache.Fill(uint64(i)*cache.LineSize, warm[i%256])
+	}
+	var fillAddr, readAddr uint64
+
+	simCfg := sim.DefaultConfig()
+	simCfg.Scheme = sim.MORC
+	simCfg.WarmupInstr = 20_000
+	simCfg.MeasureInstr = 50_000
+	var simRes sim.Result
+
+	series := &telemetry.Series{Scheme: "morc", Every: 10_000}
+	for i := 0; i < 64; i++ {
+		series.Epochs = append(series.Epochs, telemetry.Epoch{
+			Seq: i, EndInstr: uint64(i+1) * 10_000, Instr: 10_000,
+			Cycles: 12_000, LLCReads: 400, LLCHits: 300, LLCMisses: 100,
+			CompRatio: 2.1, RatioSamples: 4,
+			Cores:     []telemetry.CoreEpoch{{Instr: 10_000, Cycles: 12_000}},
+		})
+	}
+
+	legs := []*leg{
+		{
+			name: "cache/clone-line", perWhat: "clone", div: 1,
+			note: "cache.CloneLine, the single ownership-transfer funnel every fill-path copy routes through",
+			fn:   func() { cloned = cache.CloneLine(line) },
+		},
+		{
+			name: "core/fill", perWhat: "fill", div: 1,
+			note: "core.Cache.Fill on a 128KB MORC cache, the stepAccess miss-service path",
+			fn: func() {
+				fillCache.Fill(fillAddr%(1<<20)*cache.LineSize, line)
+				fillAddr++
+			},
+		},
+		{
+			name: "core/read-hit", perWhat: "read", div: 1,
+			note: "core.Cache.Read hit on a warm 128KB MORC cache, the stepAccess hit path",
+			fn: func() {
+				readCache.Read(readAddr % 1024 * cache.LineSize)
+				readAddr++
+			},
+		},
+		{
+			name: "sim/run-single", perWhat: "kinstr", div: 70, // 70k instructions per run
+			note: "sim.RunSingle gcc/MORC at 20k warmup + 50k measured instructions; normalized per 1000 instructions, so the number is the steady-state stepAccess cost plus amortized setup",
+			fn:   func() { simRes = sim.RunSingle("gcc", simCfg) },
+		},
+		{
+			name: "telemetry/ndjson", perWhat: "epoch", div: 64,
+			note: "telemetry.Series.WriteNDJSON over 64 single-core epochs, the morcd ?format=ndjson encode path",
+			fn: func() {
+				if err := series.WriteNDJSON(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			},
+		},
+	}
+
+	for _, l := range legs {
+		l := l
+		b.Run(l.name, func(b *testing.B) {
+			l.allocs = testing.AllocsPerRun(10, l.fn)
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				l.fn()
+			}
+			l.nsPerOp = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			l.ran = true
+			b.ReportAllocs()
+			b.ReportMetric(l.allocs/l.div, "allocs/"+l.perWhat)
+		})
+	}
+	_, _ = cloned, simRes
+
+	// The funnel must stay a single allocation: that is the whole point
+	// of routing every ownership-transfer copy through it.
+	for _, l := range legs {
+		if l.ran && l.name == "cache/clone-line" && l.allocs != 1 {
+			b.Fatalf("CloneLine allocates %.0f objects per clone, want exactly 1", l.allocs)
+		}
+	}
+
+	for _, l := range legs {
+		if !l.ran {
+			return // a -bench filter split the legs; keep the committed file
+		}
+	}
+	rep := bench.New("hotpath-allocs", runtime.NumCPU())
+	for _, l := range legs {
+		rep.Add(bench.Entry{
+			Name:        l.name,
+			NsPerOp:     l.nsPerOp,
+			AllocsPerOp: l.allocs,
+			Metrics:     map[string]float64{"allocs_per_" + l.perWhat: l.allocs / l.div},
+			Note:        l.note,
+		})
+	}
+	rep.Note = "go test -bench BenchmarkHotPathAllocs -benchtime 100x: allocation baselines for the paths the morclint hotalloc pass guards. allocs_per_op is exact (testing.AllocsPerRun); the per-unit metric divides by the operations one call performs. The SSE frame encoder is benchmarked in internal/server (BenchmarkWriteEvent) against a hard <=4 allocs/frame bound."
+	if err := rep.WriteFile("BENCH_alloc.json"); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // relDiff is |a-b|/|b|, the benchmark-report flavor of the check suite's
 // relative error.
 func relDiff(a, full float64) float64 {

@@ -4,8 +4,14 @@
 //
 // Usage:
 //
-//	morclint [-json] [-passes a,b] [packages ...]
+//	morclint [-json] [-time] [-passes a,b] [packages ...]
+//	morclint -callgraph [packages ...]
 //	morclint -list
+//
+// -callgraph dumps the interprocedural call graph the dettaint,
+// lockorder and hotalloc passes share (one "caller -> callee [kind]"
+// edge per line, deterministically ordered); -time reports per-pass
+// wall time on stderr after a normal run.
 //
 // Package arguments are directories relative to the working directory,
 // with the usual "./..." recursion (testdata is skipped unless named
@@ -42,10 +48,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut   = fs.Bool("json", false, "emit diagnostics as a JSON array")
 		list      = fs.Bool("list", false, "list passes with one-line descriptions and exit")
 		passNames = fs.String("passes", "", "comma-separated pass names to run (default: all)")
+		callgraph = fs.Bool("callgraph", false, "dump the resolved call graph (one edge per line) instead of diagnostics")
+		timing    = fs.Bool("time", false, "report per-pass wall time on stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
-			"usage: morclint [-json] [-passes a,b] [packages ...]\n       morclint -list\n")
+			"usage: morclint [-json] [-time] [-passes a,b] [packages ...]\n       morclint -callgraph [packages ...]\n       morclint -list\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -71,7 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			name = strings.TrimSpace(name)
 			p, ok := byName[name]
 			if !ok {
-				fmt.Fprintf(stderr, "morclint: unknown pass %q (run morclint -list)\n", name)
+				fmt.Fprintf(stderr, "morclint: unknown pass %q; valid passes: %s\n",
+					name, strings.Join(analysis.PassNames(all), ", "))
 				return 2
 			}
 			passes = append(passes, p)
@@ -96,7 +105,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "morclint: type error:", terr)
 	}
 
-	diags := prog.Run(passes)
+	if *callgraph {
+		prog.CallGraph().Dump(stdout)
+		if len(prog.TypeErrors) > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	diags, timings := prog.RunTimed(passes)
+	if *timing {
+		for _, pt := range timings {
+			fmt.Fprintf(stderr, "morclint: pass %-14s %8.1fms\n", pt.Name, float64(pt.Duration.Microseconds())/1000)
+		}
+	}
 	// Render file names relative to the working directory, the way the
 	// go tool does, so diagnostics are clickable from the repo root.
 	for i := range diags {

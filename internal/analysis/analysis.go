@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding, positioned and attributed to a pass.
@@ -69,6 +70,9 @@ func AllPasses() []Pass {
 		&Invariants{},
 		&BoundedGrowth{},
 		&SpanBalance{},
+		&DetTaint{},
+		&LockOrder{},
+		&HotAlloc{},
 	}
 }
 
@@ -81,20 +85,39 @@ func PassNames(passes []Pass) []string {
 	return out
 }
 
+// PassTiming records one pass's total wall time across all units.
+type PassTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Run executes the passes over every lint unit, filters findings through
 // the //morclint:ignore index, and returns position-sorted diagnostics.
 func (prog *Program) Run(passes []Pass) []Diagnostic {
+	diags, _ := prog.RunTimed(passes)
+	return diags
+}
+
+// RunTimed is Run plus per-pass wall-clock timings, in pass order. A
+// pass's first Run call pays for any shared whole-program state it
+// builds (the call graph is attributed to whichever interprocedural
+// pass runs first).
+func (prog *Program) RunTimed(passes []Pass) ([]Diagnostic, []PassTiming) {
 	ign := newIgnoreIndex(prog)
+	elapsed := make([]time.Duration, len(passes))
 	var out []Diagnostic
 	for _, u := range prog.Units {
 		if !u.Lint {
 			continue
 		}
-		for _, p := range passes {
+		for i, p := range passes {
 			if !p.Scope(prog, u) {
 				continue
 			}
-			for _, f := range p.Run(prog, u) {
+			start := time.Now()
+			fs := p.Run(prog, u)
+			elapsed[i] += time.Since(start)
+			for _, f := range fs {
 				pos := prog.Fset.Position(f.Pos)
 				if ign.suppressed(p.Name(), pos) {
 					continue
@@ -129,5 +152,9 @@ func (prog *Program) Run(passes []Pass) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	timings := make([]PassTiming, len(passes))
+	for i, p := range passes {
+		timings[i] = PassTiming{Name: p.Name(), Duration: elapsed[i]}
+	}
+	return out, timings
 }

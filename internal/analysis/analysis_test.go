@@ -153,7 +153,8 @@ func TestPassMetadata(t *testing.T) {
 		}
 		names[p.Name()] = true
 	}
-	for _, want := range []string{"detrand", "lockhold", "ctxleak", "invariants", "boundedgrowth", "spanbalance"} {
+	for _, want := range []string{"detrand", "lockhold", "ctxleak", "invariants", "boundedgrowth", "spanbalance",
+		"dettaint", "lockorder", "hotalloc"} {
 		if !names[want] {
 			t.Errorf("pass %s missing from AllPasses", want)
 		}

@@ -1,0 +1,451 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetTaint is the interprocedural generalization of detrand: where
+// detrand looks at one function at a time inside the deterministic-core
+// packages, dettaint walks the whole-module call graph from the
+// functions that produce the deterministic artifacts (sim.Result, the
+// telemetry series, golden tables, obs.ShapeOf projections) and flags
+// every reachable function — in any package — that obtains a value from
+// a nondeterministic source and lets it escape:
+//
+//   - wall-clock reads: time.Now / time.Since / time.Until;
+//   - math/rand (and v2) package-level functions using the shared
+//     global generator (seeded constructors are fine);
+//   - map iteration order: range-over-map loop variables, and the
+//     callback parameters of sync.Map.Range;
+//
+// "escape" means the tainted value is returned, stored through a
+// pointer (receiver field, pointer parameter, package-level or
+// closed-over state), or handed to a mutating method of such state. A
+// time.Now() whose value dies inside the function does not produce a
+// dettaint finding (detrand still flags the call itself inside the core
+// packages).
+//
+// Map-order taint is dropped by the idioms that restore determinism:
+// slices that are passed to sort.*/slices.Sort* in the same function,
+// writes keyed by the loop variable (per-key effects commute), and
+// integer/boolean accumulation. Wall-clock and global-rand taint is
+// never laundered: sorting a slice of timestamps does not make them
+// deterministic.
+//
+// Reachability follows static and interface edges only. Function-value
+// edges are excluded on purpose: hooks like System.OnProgress are how
+// the service layer (which may stamp wall-clock times onto events)
+// observes the core, and their bodies feed server state, not Result.
+type DetTaint struct {
+	state map[*Program]map[*Unit][]Finding
+}
+
+func (*DetTaint) Name() string { return "dettaint" }
+func (*DetTaint) Doc() string {
+	return "interprocedural taint: nondeterministic sources (wall-clock, global rand, map order) must not flow into results reachable from the deterministic core"
+}
+
+func (*DetTaint) Scope(prog *Program, u *Unit) bool {
+	return u.Fixture() == "dettaint" || u.Fixture() == ""
+}
+
+// taint is a bitset of nondeterminism kinds.
+type taint uint8
+
+const (
+	taintTime taint = 1 << iota
+	taintRand
+	taintMapOrder
+)
+
+func (t taint) String() string {
+	var parts []string
+	if t&taintTime != 0 {
+		parts = append(parts, "wall-clock")
+	}
+	if t&taintRand != 0 {
+		parts = append(parts, "global math/rand")
+	}
+	if t&taintMapOrder != 0 {
+		parts = append(parts, "map-iteration-order")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+func (d *DetTaint) Run(prog *Program, u *Unit) []Finding {
+	if d.state == nil {
+		d.state = map[*Program]map[*Unit][]Finding{}
+	}
+	byUnit, ok := d.state[prog]
+	if !ok {
+		byUnit = d.analyze(prog)
+		d.state[prog] = byUnit
+	}
+	return byUnit[u]
+}
+
+// dettaintRoots returns the artifact-producing entry points: every
+// exported function and method declared in the deterministic-core
+// packages, obs.ShapeOf, and — in dettaint fixture packages — every
+// exported function of the fixture.
+func dettaintRoots(prog *Program, cg *CallGraph) []*CGNode {
+	var roots []*CGNode
+	for _, n := range cg.Nodes() {
+		u := n.Unit
+		if !u.Lint || !n.Fn.Exported() {
+			continue
+		}
+		switch {
+		case u.Fixture() == "dettaint":
+			roots = append(roots, n)
+		case u.Fixture() == "" && u.InPaths(prog, detrandPkgs...):
+			roots = append(roots, n)
+		case u.Fixture() == "" && u.InPaths(prog, "internal/obs") && n.Fn.Name() == "ShapeOf":
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// analyze runs the whole-module pass once and buckets findings by unit.
+func (d *DetTaint) analyze(prog *Program) map[*Unit][]Finding {
+	cg := prog.CallGraph()
+	roots := dettaintRoots(prog, cg)
+	reach := cg.Reachable(roots, StaticAndIface)
+
+	out := map[*Unit][]Finding{}
+	for _, n := range cg.Nodes() {
+		if !reach[n] || !n.Unit.Lint {
+			continue
+		}
+		fs := d.checkFunc(prog, cg, roots, n)
+		if len(fs) > 0 {
+			out[n.Unit] = append(out[n.Unit], fs...)
+		}
+	}
+	return out
+}
+
+// chainTo renders a short root→function call chain for messages.
+func chainTo(cg *CallGraph, roots []*CGNode, n *CGNode) string {
+	path := cg.PathTo(roots, n, StaticAndIface)
+	if len(path) <= 1 {
+		return shortKey(n.Key())
+	}
+	if len(path) > 4 {
+		path = append(path[:2:2], "…", path[len(path)-1])
+	}
+	short := make([]string, len(path))
+	for i, p := range path {
+		short[i] = shortKey(p)
+	}
+	return strings.Join(short, " → ")
+}
+
+// shortKey trims the module prefix off a node key for readability.
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// checkFunc performs the intraprocedural escape analysis of one
+// reachable function.
+func (d *DetTaint) checkFunc(prog *Program, cg *CallGraph, roots []*CGNode, n *CGNode) []Finding {
+	fd, info := n.Decl, n.Unit.Info
+
+	// Vars sanitized of map-order taint: passed to a sort call anywhere
+	// in the function (the collect-then-sort idiom; detrand enforces the
+	// sort's placement, dettaint only needs the laundering fact).
+	sorted := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if (pkg == "sort" || pkg == "slices") &&
+			(strings.HasPrefix(fn.Name(), "Sort") || sortFuncNames[fn.Name()]) {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if obj := usedObject(info, id); obj != nil {
+					sorted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Taint sources and loop-variable bookkeeping.
+	vt := map[types.Object]taint{} // variable → taint kinds
+	loopVars := map[types.Object]bool{}
+	seedLoopVar := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := usedObject(info, id); obj != nil && !sorted[obj] {
+				vt[obj] |= taintMapOrder
+				loopVars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.RangeStmt:
+			tv, ok := info.Types[nd.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				// Ranging a sorted slice of keys is the fix, not the bug;
+				// ranging the map itself taints both loop vars.
+				if id := baseIdent(nd.X); id == nil || !sorted[usedObject(info, id)] {
+					seedLoopVar(nd.Key)
+					seedLoopVar(nd.Value)
+				}
+			}
+		case *ast.CallExpr:
+			// sync.Map.Range(func(k, v any) bool { ... }): the callback
+			// parameters arrive in nondeterministic order.
+			if sel, ok := ast.Unparen(nd.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Range" {
+				if selection := info.Selections[sel]; selection != nil &&
+					isNamed(selection.Recv(), "sync", "Map") && len(nd.Args) == 1 {
+					if lit, ok := ast.Unparen(nd.Args[0]).(*ast.FuncLit); ok {
+						for _, fld := range lit.Type.Params.List {
+							for _, name := range fld.Names {
+								if obj := info.Defs[name]; obj != nil {
+									vt[obj] |= taintMapOrder
+									loopVars[obj] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// sourceCallTaint reports the taint a call expression introduces by
+	// itself (before argument taint).
+	sourceCallTaint := func(call *ast.CallExpr) taint {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return 0
+		}
+		if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+			return 0
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				return taintTime
+			}
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[fn.Name()] {
+				return taintRand
+			}
+		}
+		return 0
+	}
+
+	// exprTaint: union over contained tainted identifiers and source
+	// calls. Sorted vars never carry map-order taint out.
+	var exprTaint func(e ast.Expr) taint
+	exprTaint = func(e ast.Expr) taint {
+		var t taint
+		ast.Inspect(e, func(nd ast.Node) bool {
+			switch nd := nd.(type) {
+			case *ast.Ident:
+				if obj := usedObject(info, nd); obj != nil {
+					k := vt[obj]
+					if sorted[obj] {
+						k &^= taintMapOrder
+					}
+					t |= k
+				}
+			case *ast.CallExpr:
+				t |= sourceCallTaint(nd)
+			case *ast.FuncLit:
+				return false // its body runs elsewhere
+			}
+			return true
+		})
+		return t
+	}
+
+	// Propagate assignments to locals until stable (bounded: each pass
+	// can only add bits).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(nd ast.Node) bool {
+			as, ok := nd.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := usedObject(info, id)
+				if obj == nil || sorted[obj] {
+					continue
+				}
+				var rhsT taint
+				if len(as.Rhs) == len(as.Lhs) {
+					rhsT = exprTaint(as.Rhs[i])
+				} else if len(as.Rhs) == 1 {
+					rhsT = exprTaint(as.Rhs[0])
+				}
+				if vt[obj]|rhsT != vt[obj] {
+					vt[obj] |= rhsT
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// sharedRoot reports whether an lvalue chain escapes the function:
+	// rooted at a pointer-typed variable (receiver, pointer parameter),
+	// package-level state, or a variable closed over from outside fd.
+	sharedRoot := func(e ast.Expr) (root *ast.Ident, shared bool) {
+		root = baseIdent(e)
+		if root == nil {
+			return nil, false
+		}
+		obj := usedObject(info, root)
+		if obj == nil {
+			return root, false
+		}
+		if !declaredWithin(obj, fd) {
+			return root, true
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+				return root, true
+			}
+		}
+		return root, false
+	}
+
+	usesLoopVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(nd ast.Node) bool {
+			if id, ok := nd.(*ast.Ident); ok && loopVars[usedObject(info, id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	isIntegerish := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+	}
+
+	chain := chainTo(cg, roots, n)
+	var out []Finding
+	flag := func(pos token.Pos, t taint, what string) {
+		out = append(out, Finding{Pos: pos, Message: fmt.Sprintf(
+			"%s value %s; it is reachable into the deterministic artifacts (%s)", t, what, chain)})
+	}
+
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range nd.Results {
+				if t := exprTaint(res); t != 0 {
+					flag(nd.Pos(), t, "escapes via return")
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			if nd.Tok == token.DEFINE {
+				return true
+			}
+			compound := nd.Tok != token.ASSIGN
+			for i, lhs := range nd.Lhs {
+				lhs = ast.Unparen(lhs)
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				default:
+					continue // plain local assignment: handled by propagation
+				}
+				_, shared := sharedRoot(lhs)
+				if !shared {
+					continue
+				}
+				var t taint
+				if len(nd.Rhs) == len(nd.Lhs) {
+					t = exprTaint(nd.Rhs[i])
+				} else if len(nd.Rhs) == 1 {
+					t = exprTaint(nd.Rhs[0])
+				}
+				if t == 0 {
+					continue
+				}
+				// Map-order exemptions: per-key writes commute, and
+				// integer accumulation is order-insensitive.
+				if t == taintMapOrder {
+					if ix, ok := lhs.(*ast.IndexExpr); ok && usesLoopVar(ix.Index) {
+						continue
+					}
+					if compound && isIntegerish(lhs) {
+						continue
+					}
+				}
+				flag(nd.Pos(), t, "is stored into shared state")
+			}
+		case *ast.CallExpr:
+			// Tainted argument handed to a mutating method of shared
+			// state: a setter is a store.
+			sel, ok := ast.Unparen(nd.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := info.Selections[sel]
+			if selection == nil || selection.Kind() != types.MethodVal {
+				return true
+			}
+			sig, _ := selection.Obj().Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr && !isInterface(selection.Recv()) {
+				return true
+			}
+			if _, shared := sharedRoot(sel.X); !shared {
+				return true
+			}
+			for _, arg := range nd.Args {
+				t := exprTaint(arg)
+				if t == taintMapOrder && isIntegerish(arg) {
+					continue // integer observations commute (counters)
+				}
+				if t != 0 {
+					flag(nd.Pos(), t, fmt.Sprintf("is passed to %s.%s on shared state",
+						types.ExprString(sel.X), sel.Sel.Name))
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

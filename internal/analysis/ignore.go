@@ -60,7 +60,20 @@ func (idx *ignoreIndex) add(fset *token.FileSet, c *ast.Comment) {
 		return // e.g. //morclint:ignoreXYZ — not ours
 	}
 	fields := strings.Fields(rest)
-	if len(fields) < 2 {
+	// The pass list may be written with spaces after the commas
+	// ("detrand, lockhold"): a field ending in a comma keeps the list
+	// open, so the following field still belongs to it. Whatever remains
+	// after the list closes is the mandatory reason.
+	var passList string
+	reasonStart := 0
+	for reasonStart < len(fields) {
+		passList += fields[reasonStart]
+		reasonStart++
+		if !strings.HasSuffix(passList, ",") {
+			break
+		}
+	}
+	if passList == "" || reasonStart >= len(fields) {
 		idx.malformed = append(idx.malformed, Diagnostic{
 			File: pos.Filename, Line: pos.Line, Col: pos.Column, Pass: "morclint",
 			Message: "malformed ignore comment: want //morclint:ignore <pass[,pass]> <reason>",
@@ -68,7 +81,7 @@ func (idx *ignoreIndex) add(fset *token.FileSet, c *ast.Comment) {
 		return
 	}
 	entry := ignoreEntry{}
-	for _, p := range strings.Split(fields[0], ",") {
+	for _, p := range strings.Split(passList, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			entry.passes = append(entry.passes, p)
 		}

@@ -79,6 +79,7 @@ type Program struct {
 	TypeErrors []error
 
 	byPath map[string]*Unit
+	cg     *CallGraph // built lazily by CallGraph(), shared by all passes
 }
 
 // UnitFor returns the unit with the given import path, if loaded.

@@ -21,7 +21,26 @@ func ignoreAll() int {
 	return rand.Intn(4) //morclint:ignore all the wildcard suppresses every pass
 }
 
+func ignoreSpacedList() int {
+	return rand.Intn(4) //morclint:ignore detrand, lockhold a space after the comma still reads as one list
+}
+
+func ignoreAllPlusNamed() int {
+	return rand.Intn(4) //morclint:ignore all,detrand the wildcard swallows the named pass
+}
+
+func multilineStatement() int {
+	//morclint:ignore detrand the line-above form covers only the statement's first line
+	return rand.Intn(4) +
+		rand.Intn(8) // want "rand.Intn uses math/rand's global generator"
+}
+
 func malformedIgnore() int {
 	/* want "malformed ignore comment" */ //morclint:ignore detrand
+	return rand.Intn(4) // want "rand.Intn uses math/rand's global generator"
+}
+
+func reasonlessList() int {
+	/* want "malformed ignore comment" */ //morclint:ignore detrand, lockhold
 	return rand.Intn(4) // want "rand.Intn uses math/rand's global generator"
 }

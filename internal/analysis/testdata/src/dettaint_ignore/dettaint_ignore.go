@@ -1,0 +1,25 @@
+// Package dettaintignore is a morclint fixture: allowlisted dettaint
+// findings. The ignore comments here are the justified-false-positive
+// form the repo policy requires (reason mandatory).
+package dettaintignore
+
+import "time"
+
+type sink struct {
+	last int64
+	keys []string
+}
+
+// Mark stores a wall-clock value that is documented as part of the
+// trace format, not a replayed artifact.
+func Mark(s *sink) {
+	//morclint:ignore dettaint fixture: the timestamp annotates the trace envelope, not the replayed payload
+	s.last = time.Now().UnixNano()
+}
+
+// Snapshot allowlists a map-order store into shared state.
+func Snapshot(s *sink, m map[string]bool) {
+	for k := range m {
+		s.keys = append(s.keys, k) //morclint:ignore dettaint fixture: consumer treats keys as an unordered set
+	}
+}

@@ -1,0 +1,81 @@
+// Package hotalloc is a morclint fixture for the hot-path allocation
+// inventory. Functions named after the real roots (stepAccess,
+// serviceMiss, writeEvent, handleTimeseries) seed reachability; the
+// helpers show each allocation class plus the exemptions (panic
+// arguments, fmt.Errorf, map reads keyed by a conversion, capture-free
+// literals, unreachable code).
+package hotalloc
+
+import (
+	"fmt"
+	"io"
+)
+
+type sim struct {
+	lines map[uint64][]byte
+	tags  map[string]int
+}
+
+// stepAccess is a hot root by name.
+func (s *sim) stepAccess(addr uint64, data []byte) {
+	s.lines[addr] = append([]byte(nil), data...) // want "append onto a freshly allocated slice"
+	s.note(addr)
+	s.check(len(data))
+	_ = s.fail()
+}
+
+// note allocates one hop below the root; the chain appears in the
+// message.
+func (s *sim) note(addr uint64) string {
+	return fmt.Sprintf("line %d", addr) // want "fmt.Sprintf formats"
+}
+
+// check formats only on the failure path: panic arguments are exempt.
+func (s *sim) check(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad length %d", n))
+	}
+}
+
+// fail constructs an error: fmt.Errorf is the failure path, exempt.
+func (s *sim) fail() error {
+	return fmt.Errorf("line missing")
+}
+
+// serviceMiss is a hot root by name. The map read keyed by a conversion
+// is compiler-recognized and allocation-free; the store below is not.
+func serviceMiss(s *sim, b []byte) int {
+	s.record(b)
+	return s.tags[string(b)]
+}
+
+func (s *sim) record(b []byte) {
+	s.tags[string(b)] = 1 // want "conversion copies per call"
+}
+
+// handleTimeseries is a hot root by name.
+func handleTimeseries(w io.Writer, points []float64) {
+	sum := 0.0
+	each(points, func(v float64) { sum += v }) // want "capturing closure allocates per evaluation"
+	each(points, func(v float64) { _ = v })    // capture-free literal: no heap closure
+	fmt.Fprintf(w, "%f\n", sum)                // want "fmt.Fprintf formats"
+}
+
+func each(xs []float64, f func(float64)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+// writeEvent is a hot root by name.
+func writeEvent(w io.Writer, event string) {
+	w.Write([]byte(event)) // want "conversion copies per call"
+}
+
+// coldSetup is unreachable from every hot root: the same idioms are
+// fine here.
+func coldSetup(src []byte) []byte {
+	out := append([]byte(nil), src...)
+	_ = fmt.Sprintf("%d bytes", len(out))
+	return out
+}

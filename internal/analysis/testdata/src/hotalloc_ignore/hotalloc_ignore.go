@@ -1,0 +1,15 @@
+// Package hotallocignore is a morclint fixture: an allowlisted hot-path
+// allocation (a semantically required ownership-transfer copy) with the
+// mandatory justification.
+package hotallocignore
+
+type buf struct {
+	data []byte
+}
+
+// stepAccess is a hot root by name; the copy is required because the
+// caller reuses line.
+func stepAccess(b *buf, line []byte) {
+	//morclint:ignore hotalloc fixture: the store retains the payload while the caller reuses its buffer
+	b.data = append([]byte(nil), line...)
+}

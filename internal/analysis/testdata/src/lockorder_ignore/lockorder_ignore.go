@@ -1,0 +1,24 @@
+// Package lockorderignore is a morclint fixture: an allowlisted
+// lock-acquired-twice path (the callee is documented not to re-enter on
+// this input) with the mandatory justification.
+package lockorderignore
+
+import "sync"
+
+type table struct {
+	mu    sync.Mutex
+	dirty bool
+}
+
+func (t *table) flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//morclint:ignore lockorder fixture: compact only runs on the snapshot copy, which has its own mutex instance and no further nesting
+	t.compact()
+}
+
+func (t *table) compact() {
+	t.mu.Lock()
+	t.dirty = false
+	t.mu.Unlock()
+}

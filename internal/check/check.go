@@ -48,7 +48,6 @@ func New(c cache.LLC) *Oracle {
 // Cache returns the wrapped cache under test.
 func (o *Oracle) Cache() cache.LLC { return o.c }
 
-func cloneLine(b []byte) []byte { return append([]byte(nil), b...) }
 
 // Read issues a read and verifies that a hit returns the latest data
 // recorded for the line.
@@ -89,8 +88,8 @@ func (o *Oracle) Fill(addr uint64, data []byte) error {
 	if err := o.checkWriteBacks("fill", wbs); err != nil {
 		return err
 	}
-	o.latest[la] = cloneLine(data)
-	o.mem[la] = cloneLine(data)
+	o.latest[la] = cache.CloneLine(data)
+	o.mem[la] = cache.CloneLine(data)
 	return nil
 }
 
@@ -105,7 +104,7 @@ func (o *Oracle) WriteBack(addr uint64, data []byte) error {
 	if err := o.checkWriteBacks("write-back", wbs); err != nil {
 		return err
 	}
-	o.latest[la] = cloneLine(data)
+	o.latest[la] = cache.CloneLine(data)
 	return nil
 }
 
@@ -127,7 +126,7 @@ func (o *Oracle) checkWriteBacks(op string, wbs []cache.Writeback) error {
 			return fmt.Errorf("%s: eviction for %#x carries stale data (got % x..., want % x...)",
 				op, wb.Addr, wb.Data[:8], want[:8])
 		}
-		o.mem[wb.Addr] = cloneLine(wb.Data)
+		o.mem[wb.Addr] = cache.CloneLine(wb.Data)
 	}
 	return nil
 }

@@ -114,6 +114,7 @@ func Build(s *Sampler, maxValues int) *Code {
 		vals = append(vals, vf{v, f})
 		total += f
 	}
+	//morclint:ignore hotalloc Build runs once per dictionary rebuild (amortized over an epoch of fills), not per access
 	sort.Slice(vals, func(i, j int) bool {
 		if vals[i].f != vals[j].f {
 			return vals[i].f > vals[j].f
@@ -158,6 +159,7 @@ func Build(s *Sampler, maxValues int) *Code {
 	for i, n := range lengths {
 		order[i] = symLen{i, n}
 	}
+	//morclint:ignore hotalloc canonical code assignment runs once per dictionary rebuild, not per access
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].n != order[j].n {
 			return order[i].n < order[j].n
@@ -236,6 +238,7 @@ func codeLengths(freqs []uint64) []int {
 	root := h[0]
 	lengths := make([]int, n)
 	var walk func(nd *hnode, depth int)
+	//morclint:ignore hotalloc tree walk runs once per dictionary rebuild, not per access
 	walk = func(nd *hnode, depth int) {
 		if nd.sym >= 0 {
 			if depth == 0 {

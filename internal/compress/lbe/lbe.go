@@ -174,12 +174,26 @@ func (d *dict) lookup(b []byte) (int, bool) {
 
 func (d *dict) full() bool { return len(d.entries) >= d.cap }
 
-// add inserts b if there is room and it is not already present.
+// add inserts b if there is room and it is not already present. The
+// membership probe uses the conversion-keyed map read (alloc-free); the
+// string is materialized only when the entry is actually inserted.
 func (d *dict) add(b []byte) {
 	if d.full() {
 		return
 	}
-	s := string(b)
+	if _, ok := d.index[string(b)]; ok {
+		return
+	}
+	//morclint:ignore hotalloc dictionary insert retains the key; the copy happens once per new entry, not per access
+	d.addString(string(b))
+}
+
+// addString is add for callers that already hold the key as a string
+// (Commit replaying pending adds), skipping the []byte round-trip.
+func (d *dict) addString(s string) {
+	if d.full() {
+		return
+	}
 	if _, ok := d.index[s]; ok {
 		return
 	}
@@ -307,8 +321,10 @@ func (ps *pendState) add(lvl int, b []byte) {
 	}
 	d := ps.p.enc.dicts[lvl]
 	idx := len(d.entries) + len(ps.p.adds[lvl])
-	ps.p.adds[lvl] = append(ps.p.adds[lvl], string(b))
-	ps.addIdx[lvl][string(b)] = idx
+	//morclint:ignore hotalloc pending-add retains the key; one copy per new dictionary entry, shared by the slice and the index
+	s := string(b)
+	ps.p.adds[lvl] = append(ps.p.adds[lvl], s)
+	ps.addIdx[lvl][s] = idx
 }
 
 func (ps *pendState) emit(v uint64, n int) {
@@ -352,7 +368,7 @@ func (e *Encoder) Commit(p *Pending) {
 	}
 	for lvl, adds := range p.adds {
 		for _, s := range adds {
-			e.dicts[lvl].add([]byte(s))
+			e.dicts[lvl].addString(s)
 		}
 	}
 	e.stats.Add(p.stats)

@@ -426,7 +426,7 @@ func (c *Cache) allocLMT(addr uint64) (int, []cache.Writeback) {
 		// The modified line must be decompressed and sent to memory.
 		c.st.Decompressed += uint64((int(e.lineIdx) + 1) * cache.LineSize)
 		c.st.MemWBs++
-		wbs = append(wbs, cache.Writeback{Addr: rec.addr, Data: append([]byte(nil), rec.data...)})
+		wbs = append(wbs, cache.Writeback{Addr: rec.addr, Data: cache.CloneLine(rec.data)})
 	}
 	c.invalidateLine(int(e.logIdx), int(e.lineIdx))
 	e.valid = false
@@ -560,7 +560,7 @@ func (c *Cache) commitAppend(li int, p *lbe.Pending, tag, la uint64, data []byte
 		addr:    la,
 		valid:   true,
 		endBits: lg.enc.Bits(),
-		data:    append([]byte(nil), data...),
+		data:    cache.CloneLine(data),
 	})
 	lg.valid++
 	c.seq++
@@ -597,12 +597,6 @@ func (c *Cache) recycle(slot int) []cache.Writeback {
 // oldest-closed (FIFO, the paper's default) or least-recently-touched
 // (LRU).
 func (c *Cache) pickVictim() *logT {
-	rank := func(lg *logT) uint64 {
-		if c.cfg.LogReplacement == LogLRU {
-			return lg.lastTouch
-		}
-		return lg.closedSeq
-	}
 	var reuse, victim *logT
 	for _, lg := range c.logs {
 		if lg.active {
@@ -613,7 +607,7 @@ func (c *Cache) pickVictim() *logT {
 				reuse = lg
 			}
 		}
-		if victim == nil || rank(lg) < rank(victim) {
+		if victim == nil || c.logRank(lg) < c.logRank(victim) {
 			victim = lg
 		}
 	}
@@ -624,6 +618,15 @@ func (c *Cache) pickVictim() *logT {
 		panic("core: no closed log to reclaim (ActiveLogs too large)")
 	}
 	return victim
+}
+
+// logRank orders closed logs for victim selection under the configured
+// replacement policy (lower = evicted first).
+func (c *Cache) logRank(lg *logT) uint64 {
+	if c.cfg.LogReplacement == LogLRU {
+		return lg.lastTouch
+	}
+	return lg.closedSeq
 }
 
 // flush performs a whole-log eviction: sequentially decompress, write
@@ -649,7 +652,7 @@ func (c *Cache) flush(lg *logT) []cache.Writeback {
 			if e.valid && e.owner == rec.addr {
 				if e.modified {
 					c.st.MemWBs++
-					wbs = append(wbs, cache.Writeback{Addr: rec.addr, Data: append([]byte(nil), rec.data...)})
+					wbs = append(wbs, cache.Writeback{Addr: rec.addr, Data: cache.CloneLine(rec.data)})
 				}
 				e.valid = false
 			}

@@ -114,7 +114,7 @@ func Run(ctx context.Context, spec Spec) (*Profile, error) {
 		// L1 hit paths: loads read, stores mutate in place.
 		if res := c.l1.Read(a.Addr); res.Hit {
 			if a.Kind == trace.Store {
-				mutated := append([]byte(nil), res.Data...)
+				mutated := cache.CloneLine(res.Data)
 				c.memv.ApplyStore(mutated, a.Addr)
 				c.l1.Update(a.Addr, mutated, true)
 			}
@@ -142,7 +142,7 @@ func Run(ctx context.Context, spec Spec) (*Profile, error) {
 			}
 		}
 		if a.Kind == trace.Store {
-			mutated := append([]byte(nil), data...)
+			mutated := cache.CloneLine(data)
 			c.memv.ApplyStore(mutated, a.Addr)
 			data = mutated
 		}

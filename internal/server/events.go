@@ -3,7 +3,6 @@ package server
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"time"
@@ -28,13 +27,19 @@ func (j *Job) eventView() eventProgress {
 	return eventProgress{ID: j.ID, Status: j.status, Progress: j.progress, Error: j.errMsg}
 }
 
-// writeEvent emits one SSE frame.
+// writeEvent emits one SSE frame. The frame is assembled with plain
+// writes rather than fmt so the per-event cost is the JSON encoding
+// alone (no operand boxing or format parsing on the stream path).
 func writeEvent(w io.Writer, event string, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	io.WriteString(w, "event: ")
+	io.WriteString(w, event)
+	io.WriteString(w, "\ndata: ")
+	w.Write(b)
+	io.WriteString(w, "\n\n")
 }
 
 // handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream

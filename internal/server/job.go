@@ -354,6 +354,7 @@ func (j *Job) timeseries() (ts *telemetry.Series, ok bool) {
 	return &telemetry.Series{
 		Scheme: j.Spec.Scheme.String(),
 		Every:  cfg.Telemetry.Every,
+		//morclint:ignore hotalloc snapshot under j.mu; the live epoch slice keeps growing after the response is encoded
 		Epochs: append([]telemetry.Epoch(nil), j.epochs...),
 	}, true
 }

@@ -202,7 +202,7 @@ func (s *System) stepAccess(c *coreState) (a trace.Access, miss bool) {
 	}
 	// Store: write-allocate into the L1.
 	if res := c.l1.Read(a.Addr); res.Hit {
-		mutated := append([]byte(nil), res.Data...)
+		mutated := cache.CloneLine(res.Data)
 		c.memv.ApplyStore(mutated, a.Addr)
 		c.l1.Update(a.Addr, mutated, true)
 		return a, false
@@ -223,7 +223,7 @@ func (s *System) serviceMiss(c *coreState, a trace.Access) {
 		return
 	}
 	data, lat := s.llcAccess(c, a.Addr, true)
-	mutated := append([]byte(nil), data...)
+	mutated := cache.CloneLine(data)
 	c.memv.ApplyStore(mutated, a.Addr)
 	s.l1Insert(c, a.Addr, mutated, true)
 	s.block(c, lat)

@@ -151,7 +151,7 @@ func (m *Memory) WriteLine(addr uint64, data []byte) {
 	}
 	la := cache.LineAddr(addr)
 	m.WriteLines++
-	m.written[la] = append([]byte(nil), data...)
+	m.written[la] = cache.CloneLine(data)
 }
 
 // synthLine deterministically generates the pristine contents of a line.
